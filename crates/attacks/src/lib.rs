@@ -1,0 +1,36 @@
+//! Attack suite for evaluating locked designs — the resilience side of every
+//! table in the paper.
+//!
+//! * [`sat_attack`] — the oracle-guided key-recovery SAT attack \[6\]: a miter
+//!   of two locked-circuit copies with shared inputs and independent keys
+//!   yields *distinguishing input patterns* (DIPs); each DIP is resolved
+//!   against the oracle and added as an IO constraint until no DIP remains,
+//!   at which point any consistent key is functionally correct. A conflict
+//!   and iteration budget reproduces the paper's 48-hour timeout at this
+//!   scale.
+//! * [`cyclic_reduction`] — the preprocessing of \[26\]: combinational cycles
+//!   introduced by eFPGA routing are cut before encoding, mirroring how an
+//!   attacker rules out cyclical configurations. Cutting can sever paths the
+//!   true key needs — the attack then recovers a wrong key, which the
+//!   verification step reports.
+//! * [`scan_frame`] — the full-scan threat model: flip-flops become
+//!   pseudo-ports so one combinational frame is attacked, exactly what a
+//!   fully scanned chip exposes.
+//! * [`removal_attack`] — the Xbar-replacement attack SheLL's LGC twisting
+//!   defends against: the adversary replaces the whole redacted fabric with
+//!   a guessed plain implementation and checks the result against the
+//!   oracle.
+//! * [`structural`] — an UNTANGLE-flavored \[8\] structural stand-in: key
+//!   muxes of routing-locked netlists are guessed from graph features,
+//!   demonstrating why *localized* MUX locking (Fig. 1c) falls to ML-style
+//!   attacks.
+
+pub mod cyclic;
+pub mod removal;
+pub mod sat_attack;
+pub mod structural;
+
+pub use cyclic::{cyclic_reduction, CyclicReductionReport};
+pub use removal::{removal_attack, RemovalOutcome};
+pub use sat_attack::{sat_attack, scan_frame, SatAttackOptions, SatAttackOutcome};
+pub use structural::{structural_mux_attack, StructuralReport};

@@ -1,0 +1,570 @@
+//! The oracle-guided SAT attack \[6\].
+//!
+//! Loop: (1) solve a miter of two locked copies with shared primary inputs
+//! and independent keys, forcing some output to differ — a model is a
+//! *distinguishing input pattern* (DIP); (2) query the oracle (the activated
+//! chip) on the DIP; (3) constrain both key candidates to reproduce the
+//! oracle's answer on that DIP; (4) repeat. When the miter is UNSAT, every
+//! remaining key candidate is functionally correct; one is extracted and
+//! verified.
+//!
+//! Sequential designs enter through [`scan_frame`], matching the paper's
+//! full-scan threat model: flip-flop outputs become scannable pseudo-inputs
+//! and data pins pseudo-outputs, so a single combinational frame carries the
+//! whole secret.
+
+use shell_netlist::equiv::{equiv_exhaustive, equiv_random, EquivResult};
+use shell_netlist::{CellKind, NetId, Netlist};
+use shell_sat::{encode_netlist, Lit, SatResult, Solver};
+
+/// Attack configuration.
+#[derive(Debug, Clone)]
+pub struct SatAttackOptions {
+    /// DIP-loop iteration cap (a structural timeout).
+    pub max_iterations: usize,
+    /// Cumulative solver conflict budget (the 48-hour stand-in).
+    pub conflict_budget: Option<u64>,
+    /// Verify the extracted key against the oracle before claiming success.
+    pub verify_key: bool,
+    /// Vectors for the Monte-Carlo verification of wide designs.
+    pub verify_vectors: usize,
+}
+
+impl Default for SatAttackOptions {
+    fn default() -> Self {
+        Self {
+            max_iterations: 512,
+            conflict_budget: Some(2_000_000),
+            verify_key: true,
+            verify_vectors: 512,
+        }
+    }
+}
+
+/// Attack outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatAttackOutcome {
+    /// A functionally correct key was recovered: the design is **broken**.
+    Broken {
+        /// The recovered key.
+        key: Vec<bool>,
+        /// DIP iterations used.
+        iterations: usize,
+        /// Total solver conflicts.
+        conflicts: u64,
+    },
+    /// The budget ran out first: **resilient** within this budget.
+    Resilient {
+        /// DIP iterations completed.
+        iterations: usize,
+        /// Total solver conflicts.
+        conflicts: u64,
+    },
+    /// The attack terminated with a key that fails verification (e.g. a
+    /// cyclic-reduction cut severed the functional path) or with an
+    /// inconsistent constraint set. The design survives, but for structural
+    /// reasons rather than budget exhaustion.
+    WrongKey {
+        /// The non-functional candidate key.
+        key: Vec<bool>,
+        /// DIP iterations used.
+        iterations: usize,
+    },
+}
+
+impl SatAttackOutcome {
+    /// `true` when a correct key was extracted.
+    pub fn is_broken(&self) -> bool {
+        matches!(self, SatAttackOutcome::Broken { .. })
+    }
+}
+
+/// Converts a sequential netlist into its full-scan combinational frame:
+/// every DFF output becomes a primary input `scan_q<i>` and every DFF data
+/// pin a primary output `scan_d<i>`. Combinational designs pass through
+/// unchanged (cloned).
+///
+/// ```
+/// use shell_netlist::{Netlist, CellKind};
+/// use shell_attacks::scan_frame;
+///
+/// let mut n = Netlist::new("ff");
+/// let d = n.add_input("d");
+/// let q = n.add_cell("ff", CellKind::Dff, vec![d]);
+/// n.add_output("q", q);
+/// let frame = scan_frame(&n);
+/// assert!(frame.is_combinational());
+/// assert_eq!(frame.inputs().len(), 2);   // d + scan_q0
+/// assert_eq!(frame.outputs().len(), 2);  // q + scan_d0
+/// ```
+///
+/// # Panics
+///
+/// Panics when the netlist contains latches.
+pub fn scan_frame(netlist: &Netlist) -> Netlist {
+    if netlist.is_combinational() {
+        return netlist.clone();
+    }
+    let mut out = Netlist::new(format!("{}_frame", netlist.name()));
+    let mut map: Vec<Option<NetId>> = vec![None; netlist.net_count()];
+    for &n in netlist.inputs() {
+        map[n.index()] = Some(out.add_input(netlist.net(n).name.clone()));
+    }
+    for &n in netlist.key_inputs() {
+        map[n.index()] = Some(out.add_key_input(netlist.net(n).name.clone()));
+    }
+    // DFF outputs become scan inputs. Order the chain by cell *name* so two
+    // functionally-equal designs with different construction orders (e.g.
+    // an original and its redacted-and-reassembled twin) expose identical
+    // scan frames.
+    let mut seq = netlist.sequential_cells();
+    seq.sort_by(|&a, &b| netlist.cell(a).name.cmp(&netlist.cell(b).name));
+    for (i, &cid) in seq.iter().enumerate() {
+        let c = netlist.cell(cid);
+        assert!(
+            c.kind == CellKind::Dff,
+            "latch `{}` not supported in scan frames",
+            c.name
+        );
+        map[c.output.index()] = Some(out.add_input(format!("scan_q{i}")));
+    }
+    let order = netlist.topo_order().expect("cyclic netlist");
+    let resolve = |out: &mut Netlist, map: &mut Vec<Option<NetId>>, n: NetId| -> NetId {
+        if let Some(m) = map[n.index()] {
+            m
+        } else {
+            let m = out.add_net("floating");
+            map[n.index()] = Some(m);
+            m
+        }
+    };
+    for cid in order {
+        let c = netlist.cell(cid);
+        if c.kind.is_sequential() {
+            continue;
+        }
+        let ins: Vec<NetId> = c
+            .inputs
+            .iter()
+            .map(|&n| resolve(&mut out, &mut map, n))
+            .collect();
+        let new = out.add_cell(c.name.clone(), c.kind, ins);
+        map[c.output.index()] = Some(new);
+    }
+    for (name, n) in netlist.outputs() {
+        let m = resolve(&mut out, &mut map, *n);
+        out.add_output(name.clone(), m);
+    }
+    // DFF data pins become scan outputs.
+    for (i, &cid) in seq.iter().enumerate() {
+        let d = netlist.cell(cid).inputs[0];
+        let m = map[d.index()].expect("data pin realized");
+        out.add_output(format!("scan_d{i}"), m);
+    }
+    out
+}
+
+/// Runs the oracle-guided SAT attack on `locked` against `oracle`.
+///
+/// Both netlists must be combinational (run [`scan_frame`] first) with the
+/// same primary input/output counts; `oracle` must have no key inputs.
+///
+/// # Panics
+///
+/// Panics on shape mismatches or non-combinational inputs.
+pub fn sat_attack(
+    locked: &Netlist,
+    oracle: &Netlist,
+    options: &SatAttackOptions,
+) -> SatAttackOutcome {
+    assert!(locked.is_combinational(), "scan_frame the locked design first");
+    assert!(oracle.is_combinational(), "scan_frame the oracle first");
+    assert!(oracle.key_inputs().is_empty(), "oracle must be activated");
+    assert_eq!(
+        locked.inputs().len(),
+        oracle.inputs().len(),
+        "input shape mismatch"
+    );
+    assert_eq!(
+        locked.outputs().len(),
+        oracle.outputs().len(),
+        "output shape mismatch"
+    );
+
+    let mut solver = Solver::new();
+    solver.set_conflict_budget(options.conflict_budget);
+    let copy_a = encode_netlist(&mut solver, locked, None, None);
+    let copy_b = encode_netlist(&mut solver, locked, Some(&copy_a.inputs), None);
+    // Miter: at least one output pair differs. diff_o = out_a ⊕ out_b.
+    let mut diffs = Vec::with_capacity(copy_a.outputs.len());
+    for (&a, &b) in copy_a.outputs.iter().zip(&copy_b.outputs) {
+        let d = solver.new_var();
+        // d = a ⊕ b
+        solver.add_clause(&[Lit::neg(a), Lit::neg(b), Lit::neg(d)]);
+        solver.add_clause(&[Lit::pos(a), Lit::pos(b), Lit::neg(d)]);
+        solver.add_clause(&[Lit::pos(a), Lit::neg(b), Lit::pos(d)]);
+        solver.add_clause(&[Lit::neg(a), Lit::pos(b), Lit::pos(d)]);
+        diffs.push(Lit::pos(d));
+    }
+    solver.add_clause(&diffs);
+
+    let n_inputs = locked.inputs().len();
+    let mut iterations = 0usize;
+    let mut dips: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
+    loop {
+        if iterations >= options.max_iterations {
+            return SatAttackOutcome::Resilient {
+                iterations,
+                conflicts: solver.stats().conflicts,
+            };
+        }
+        match solver.solve() {
+            SatResult::Unknown => {
+                return SatAttackOutcome::Resilient {
+                    iterations,
+                    conflicts: solver.stats().conflicts,
+                }
+            }
+            SatResult::Unsat => break,
+            SatResult::Sat => {
+                iterations += 1;
+                // Extract the DIP.
+                let dip: Vec<bool> = copy_a
+                    .inputs
+                    .iter()
+                    .map(|&v| solver.value(v).unwrap_or(false))
+                    .collect();
+                debug_assert_eq!(dip.len(), n_inputs);
+                // Oracle query.
+                let response = oracle.eval_comb(&dip);
+                dips.push((dip.clone(), response.clone()));
+                // Pin both key candidates to the oracle's answer on the DIP:
+                // encode one fresh copy per key set with constant inputs.
+                for keys in [&copy_a.keys, &copy_b.keys] {
+                    let fresh = encode_netlist(&mut solver, locked, None, Some(keys));
+                    for (i, &v) in fresh.inputs.iter().enumerate() {
+                        solver.add_clause(&[Lit::new(v, dip[i])]);
+                    }
+                    for (o, &v) in fresh.outputs.iter().enumerate() {
+                        solver.add_clause(&[Lit::new(v, response[o])]);
+                    }
+                }
+            }
+        }
+    }
+
+    // Miter UNSAT: every key consistent with all recorded DIP constraints
+    // is functionally correct [6]; extract one from a fresh solver.
+    let key = extract_key(locked, &dips, options);
+    let conflicts = solver.stats().conflicts;
+    match key {
+        Some(key) => {
+            if options.verify_key {
+                let ok = verify_key(locked, oracle, &key, options.verify_vectors);
+                if ok {
+                    SatAttackOutcome::Broken {
+                        key,
+                        iterations,
+                        conflicts,
+                    }
+                } else {
+                    SatAttackOutcome::WrongKey { key, iterations }
+                }
+            } else {
+                SatAttackOutcome::Broken {
+                    key,
+                    iterations,
+                    conflicts,
+                }
+            }
+        }
+        None => SatAttackOutcome::WrongKey {
+            key: Vec::new(),
+            iterations,
+        },
+    }
+}
+
+/// Solves for one key consistent with the recorded DIP/response pairs —
+/// sound by the SAT attack's termination argument: once the miter is UNSAT,
+/// keys agreeing on all DIPs agree everywhere.
+fn extract_key(
+    locked: &Netlist,
+    dips: &[(Vec<bool>, Vec<bool>)],
+    options: &SatAttackOptions,
+) -> Option<Vec<bool>> {
+    let mut solver = Solver::new();
+    solver.set_conflict_budget(options.conflict_budget);
+    let copy = encode_netlist(&mut solver, locked, None, None);
+    for (dip, response) in dips {
+        let fresh = encode_netlist(&mut solver, locked, None, Some(&copy.keys));
+        for (i, &v) in fresh.inputs.iter().enumerate() {
+            solver.add_clause(&[Lit::new(v, dip[i])]);
+        }
+        for (o, &v) in fresh.outputs.iter().enumerate() {
+            solver.add_clause(&[Lit::new(v, response[o])]);
+        }
+    }
+    match solver.solve() {
+        SatResult::Sat => Some(
+            copy.keys
+                .iter()
+                .map(|&k| solver.value(k).unwrap_or(false))
+                .collect(),
+        ),
+        _ => None,
+    }
+}
+
+/// Checks the candidate key against the oracle (exhaustive up to 12 inputs,
+/// Monte-Carlo beyond).
+fn verify_key(locked: &Netlist, oracle: &Netlist, key: &[bool], vectors: usize) -> bool {
+    let outcome = if locked.inputs().len() <= 12 {
+        equiv_exhaustive(oracle, locked, &[], key)
+    } else {
+        equiv_random(oracle, locked, &[], key, vectors, 0xFACE)
+    };
+    matches!(outcome, EquivResult::Equivalent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shell_netlist::LutMask;
+
+    /// XOR-locks `oracle` by inserting key XORs on `bits` internal cells'
+    /// outputs — breakable by the SAT attack quickly.
+    fn xor_lock(oracle: &Netlist, bits: usize) -> (Netlist, Vec<bool>) {
+        let mut locked = oracle.clone();
+        let fanout = locked.fanout_table();
+        let mut key = Vec::new();
+        let targets: Vec<_> = locked
+            .cells()
+            .map(|(id, _)| id)
+            .take(bits)
+            .collect();
+        for (i, cid) in targets.into_iter().enumerate() {
+            // Insert XOR between cell output and its readers.
+            let out_net = locked.cell(cid).output;
+            let k = locked.add_key_input(format!("k{i}"));
+            // Correct key bit: 0 (XOR transparent) or 1 with an extra NOT.
+            let invert = i % 2 == 1;
+            let gate_in = if invert {
+                let inv = locked.add_cell(format!("pre_inv{i}"), CellKind::Not, vec![out_net]);
+                key.push(true);
+                inv
+            } else {
+                key.push(false);
+                out_net
+            };
+            let xored = locked.add_cell(format!("kx{i}"), CellKind::Xor, vec![gate_in, k]);
+            for &(reader, pin) in &fanout[out_net.index()] {
+                locked.rewire_input(reader, pin, xored);
+            }
+        }
+        (locked, key)
+    }
+
+    fn small_oracle() -> Netlist {
+        shell_circuits_free_adder()
+    }
+
+    /// A 4-bit adder built inline (no dependency on shell-circuits to keep
+    /// the crate graph lean).
+    fn shell_circuits_free_adder() -> Netlist {
+        let mut n = Netlist::new("oracle");
+        let a: Vec<NetId> = (0..4).map(|i| n.add_input(format!("a{i}"))).collect();
+        let b: Vec<NetId> = (0..4).map(|i| n.add_input(format!("b{i}"))).collect();
+        let mut carry = n.add_cell("c0", CellKind::Const(false), vec![]);
+        for i in 0..4 {
+            let p = n.add_cell(format!("p{i}"), CellKind::Xor, vec![a[i], b[i]]);
+            let s = n.add_cell(format!("s{i}"), CellKind::Xor, vec![p, carry]);
+            let g = n.add_cell(format!("g{i}"), CellKind::And, vec![a[i], b[i]]);
+            let pc = n.add_cell(format!("pc{i}"), CellKind::And, vec![p, carry]);
+            carry = n.add_cell(format!("c{}", i + 1), CellKind::Or, vec![g, pc]);
+            n.add_output(format!("s{i}"), s);
+        }
+        n.add_output("cout", carry);
+        n
+    }
+
+    #[test]
+    fn breaks_xor_locking() {
+        let oracle = small_oracle();
+        let (locked, true_key) = xor_lock(&oracle, 6);
+        let outcome = sat_attack(&locked, &oracle, &SatAttackOptions::default());
+        match outcome {
+            SatAttackOutcome::Broken { key, iterations, .. } => {
+                // The recovered key must be *functionally* correct; chained
+                // inverted bits can cancel, so bit equality with true_key is
+                // not required. The attack verified already; double-check.
+                use shell_netlist::equiv::equiv_exhaustive;
+                assert!(equiv_exhaustive(&oracle, &locked, &[], &key).is_equivalent());
+                assert!(
+                    equiv_exhaustive(&oracle, &locked, &[], &true_key).is_equivalent(),
+                    "sanity: the planted key is correct too"
+                );
+                assert!(iterations <= 64);
+            }
+            other => panic!("expected break, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn key_verification_detects_wrong_function() {
+        // A "locked" design that is NOT the oracle under any key: the
+        // attack must not claim Broken.
+        let oracle = small_oracle();
+        let mut locked = oracle.clone();
+        let k = locked.add_key_input("k");
+        // Corrupt one output irrecoverably: new_out0 = old_out0 XOR (a0 AND !k ... )
+        let a0 = locked.inputs()[0];
+        let nk = locked.add_cell("nk", CellKind::Not, vec![k]);
+        let taint = locked.add_cell("taint", CellKind::And, vec![a0, nk]);
+        let old = locked.outputs()[0].1;
+        let bad = locked.add_cell("bad", CellKind::Xor, vec![old, taint, k]);
+        // Replace output 0.
+        let mut outs: Vec<(String, NetId)> = locked.outputs().to_vec();
+        outs[0].1 = bad;
+        let mut rebuilt = Netlist::new("locked_bad");
+        // Rebuild quickly via clone trick: easier—construct fresh netlist by
+        // copying locked and re-adding outputs is involved; instead assert on
+        // the simpler property: attack on (locked-with-extra-output).
+        let _ = outs;
+        let _ = rebuilt;
+        // Simpler scenario: oracle = AND, locked = OR with key XOR on output
+        // (no key makes OR equal AND on all inputs).
+        let mut oracle2 = Netlist::new("and");
+        let x = oracle2.add_input("x");
+        let y = oracle2.add_input("y");
+        let f = oracle2.add_cell("f", CellKind::And, vec![x, y]);
+        oracle2.add_output("f", f);
+        let mut locked2 = Netlist::new("or_locked");
+        let x2 = locked2.add_input("x");
+        let y2 = locked2.add_input("y");
+        let k2 = locked2.add_key_input("k");
+        let g = locked2.add_cell("g", CellKind::Or, vec![x2, y2]);
+        let f2 = locked2.add_cell("f", CellKind::Xor, vec![g, k2]);
+        locked2.add_output("f", f2);
+        let outcome = sat_attack(&locked2, &oracle2, &SatAttackOptions::default());
+        assert!(
+            !outcome.is_broken(),
+            "no key makes OR⊕k equal AND: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_resilient() {
+        let oracle = small_oracle();
+        let (locked, _) = xor_lock(&oracle, 8);
+        let opts = SatAttackOptions {
+            max_iterations: 1,
+            conflict_budget: Some(1),
+            ..Default::default()
+        };
+        let outcome = sat_attack(&locked, &oracle, &opts);
+        assert!(matches!(outcome, SatAttackOutcome::Resilient { .. }));
+    }
+
+    #[test]
+    fn lut_locked_design_broken() {
+        // Replace a gate with a keyed LUT (traditional LUT insertion,
+        // Fig. 1a): SAT attack recovers the truth table.
+        let mut oracle = Netlist::new("o");
+        let a = oracle.add_input("a");
+        let b = oracle.add_input("b");
+        let c = oracle.add_input("c");
+        let t = oracle.add_cell("t", CellKind::And, vec![a, b]);
+        let f = oracle.add_cell("f", CellKind::Xor, vec![t, c]);
+        oracle.add_output("f", f);
+
+        // Locked: t is a 2-input "LUT" built from key bits via mux tree —
+        // modeled directly as 4 key bits read by a LUT-of-keys structure.
+        let mut locked = Netlist::new("l");
+        let la = locked.add_input("a");
+        let lb = locked.add_input("b");
+        let lc = locked.add_input("c");
+        let keys: Vec<NetId> = (0..4)
+            .map(|i| locked.add_key_input(format!("k{i}")))
+            .collect();
+        // mux tree: sel (a,b) over keys.
+        let m0 = locked.add_cell("m0", CellKind::Mux2, vec![la, keys[0], keys[1]]);
+        let m1 = locked.add_cell("m1", CellKind::Mux2, vec![la, keys[2], keys[3]]);
+        let t = locked.add_cell("t", CellKind::Mux2, vec![lb, m0, m1]);
+        let f = locked.add_cell("f", CellKind::Xor, vec![t, lc]);
+        locked.add_output("f", f);
+
+        let outcome = sat_attack(&locked, &oracle, &SatAttackOptions::default());
+        match outcome {
+            SatAttackOutcome::Broken { key, .. } => {
+                // AND truth table in (a,b) order: k[a + 2b]; only (1,1) → 1.
+                // m0 = a?k1:k0 at b=0; correct key: k0=0,k1=0,k2=0,k3=1.
+                assert_eq!(key, vec![false, false, false, true]);
+            }
+            other => panic!("expected break, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_frame_exposes_state() {
+        let mut n = Netlist::new("seq");
+        let d = n.add_input("d");
+        let q = n.add_cell("ff", CellKind::Dff, vec![d]);
+        let f = n.add_cell("f", CellKind::Xor, vec![q, d]);
+        n.add_output("f", f);
+        let frame = scan_frame(&n);
+        assert!(frame.is_combinational());
+        assert_eq!(frame.inputs().len(), 2); // d + scan_q0
+        assert_eq!(frame.outputs().len(), 2); // f + scan_d0
+        // frame: f = scan_q0 ^ d, scan_d0 = d.
+        assert_eq!(frame.eval_comb(&[true, false]), vec![true, true]);
+        assert_eq!(frame.eval_comb(&[true, true]), vec![false, true]);
+    }
+
+    #[test]
+    fn scan_frame_combinational_passthrough() {
+        let oracle = small_oracle();
+        let frame = scan_frame(&oracle);
+        assert_eq!(frame.inputs().len(), oracle.inputs().len());
+        assert_eq!(frame.outputs().len(), oracle.outputs().len());
+    }
+
+    #[test]
+    fn sequential_lock_attacked_via_frames() {
+        // Sequential locked circuit: q' = d ^ k; out = q. Scan frames make
+        // the key observable in one frame.
+        let mut oracle = Netlist::new("so");
+        let d = oracle.add_input("d");
+        let q = oracle.add_cell("ff", CellKind::Dff, vec![d]);
+        oracle.add_output("q", q);
+        let mut locked = Netlist::new("sl");
+        let ld = locked.add_input("d");
+        let k = locked.add_key_input("k");
+        let dx = locked.add_cell("dx", CellKind::Xor, vec![ld, k]);
+        let dx2 = locked.add_cell("dx2", CellKind::Xor, vec![dx, k]);
+        let lq = locked.add_cell("ff", CellKind::Dff, vec![dx2]);
+        locked.add_output("q", lq);
+        // dx2 = d ^ k ^ k = d: every key works; attack must find *a* key.
+        let of = scan_frame(&oracle);
+        let lf = scan_frame(&locked);
+        let outcome = sat_attack(&lf, &of, &SatAttackOptions::default());
+        assert!(outcome.is_broken(), "{outcome:?}");
+    }
+
+    #[test]
+    fn keyed_lut_mask_recovered() {
+        // LUT cell whose mask is correct only for one key assignment via
+        // LutMask-encoded locked structure exercise.
+        let mut oracle = Netlist::new("o");
+        let a = oracle.add_input("a");
+        let b = oracle.add_input("b");
+        let f = oracle.add_cell("f", CellKind::Lut(LutMask::new(0b0110, 2)), vec![a, b]);
+        oracle.add_output("f", f);
+        let (locked, true_key) = xor_lock(&oracle, 1);
+        let outcome = sat_attack(&locked, &oracle, &SatAttackOptions::default());
+        match outcome {
+            SatAttackOutcome::Broken { key, .. } => assert_eq!(key, true_key),
+            other => panic!("{other:?}"),
+        }
+    }
+}

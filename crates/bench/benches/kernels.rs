@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the hot kernels behind the paper tables.
+use criterion::{criterion_group, criterion_main, Criterion};
+use shell_circuits::{axi_xbar, generate, Benchmark, Scale};
+use shell_fabric::FabricConfig;
+use shell_lock::{score_cells, Coefficients};
+use shell_pnr::{place_and_route_with_chains, PnrOptions};
+use shell_sat::{encode_netlist, Solver};
+use shell_synth::{lut_map, mux_chain_map};
+
+fn bench_centrality(c: &mut Criterion) {
+    let n = generate(Benchmark::PicoSoc, Scale::small());
+    c.bench_function("score_cells/picosoc", |b| {
+        b.iter(|| score_cells(&n, &Coefficients::c5_shell()))
+    });
+}
+
+fn bench_lut_map(c: &mut Criterion) {
+    let n = generate(Benchmark::Fir, Scale::small());
+    c.bench_function("lut_map/fir_k4", |b| b.iter(|| lut_map(&n, 4)));
+}
+
+fn bench_mux_chain(c: &mut Criterion) {
+    let n = axi_xbar(8, 4);
+    c.bench_function("mux_chain_map/xbar8x4", |b| b.iter(|| mux_chain_map(&n)));
+}
+
+fn bench_pnr(c: &mut Criterion) {
+    let n = axi_xbar(4, 2);
+    let mut group = c.benchmark_group("pnr");
+    group.sample_size(10);
+    group.bench_function("chain_flow/xbar4x2", |b| {
+        b.iter(|| {
+            place_and_route_with_chains(
+                &n,
+                FabricConfig::fabulous_style(true),
+                &PnrOptions::default(),
+            )
+            .expect("maps")
+        })
+    });
+    group.finish();
+}
+
+fn bench_tseitin(c: &mut Criterion) {
+    let n = generate(Benchmark::Aes, Scale::small());
+    let frame = shell_attacks::scan_frame(&n);
+    c.bench_function("tseitin/aes_frame", |b| {
+        b.iter(|| {
+            let mut solver = Solver::new();
+            encode_netlist(&mut solver, &frame, None, None)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_centrality,
+    bench_lut_map,
+    bench_mux_chain,
+    bench_pnr,
+    bench_tseitin
+);
+criterion_main!(benches);

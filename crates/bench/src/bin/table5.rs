@@ -1,0 +1,39 @@
+//! Table V — comparative normalized overhead with the **same target**
+//! (ROUTE-based) for redaction across all four cases, on PicoSoC, AES, FIR.
+//!
+//! Unlike Table IV (where each case picks its own target), all cases here
+//! redact SheLL's ROUTE+LGC selection; the differences are purely the flow
+//! (LUT-everything OpenFPGA vs LUT FABulous vs chains+shrink). Expected
+//! shape: Cases 1 ≈ 2 (same tool, same target), Case 3 somewhat cheaper
+//! (MUX4 switches + latches + custom cells), Case 4 clearly cheapest.
+
+use shell_bench::{eval_scale, f3, Table};
+use shell_circuits::{generate, Benchmark};
+use shell_lock::{evaluate_overhead, redact_baseline, BaselineCase, ShellOptions};
+
+fn main() {
+    let benches = [Benchmark::PicoSoc, Benchmark::Aes, Benchmark::Fir];
+    let mut t = Table::new(&[
+        "Benchmark", "C1 A", "C1 P", "C1 D", "C2 A", "C2 P", "C2 D", "C3 A", "C3 P", "C3 D",
+        "C4 A", "C4 P", "C4 D",
+    ]);
+    for bench in benches {
+        let design = generate(bench, eval_scale());
+        // Same target everywhere: SheLL's ROUTE+LGC cells.
+        let cells = BaselineCase::Shell.target_cells(bench, &design);
+        let mut row = vec![bench.name().to_string()];
+        for case in BaselineCase::all() {
+            match redact_baseline(&design, &cells, case, &ShellOptions::default()) {
+                Ok(outcome) => {
+                    let oh = evaluate_overhead(&design, &outcome);
+                    row.extend([f3(oh.area), f3(oh.power), f3(oh.delay)]);
+                }
+                Err(_) => row.extend(["-".into(), "-".into(), "-".into()]),
+            }
+        }
+        t.row(row);
+    }
+    t.print("Table V — Same-Target (ROUTE-based) Overhead, Cases 1-4");
+    println!("note: Cases 1 and 2 coincide by construction (same tool, same target),");
+    println!("matching the paper's footnote that they are equal under an identical TfR.");
+}

@@ -1,0 +1,72 @@
+//! Table VI — the coefficient sweep of Eq. 1: presets c1–c5 drive the
+//! score-based sub-circuit selection, and each selection is priced (A/P/D)
+//! and attacked.
+//!
+//! Expected shape: c5 (the SheLL choice, `{h,h,l,l,h,l}`) gives the lowest
+//! overhead column; c4 (high LUT demand) the highest; some c2/c3 selections
+//! may fall to the SAT attack (the paper's strikethrough cells).
+
+use shell_bench::{check_resilience, eval_scale, f2, Table};
+use shell_circuits::{generate, Benchmark};
+use shell_lock::{
+    evaluate_overhead, shell_lock, Coefficients, SelectionOptions, ShellOptions,
+};
+
+fn main() {
+    let presets = Coefficients::table_vi_presets();
+    let mut header: Vec<String> = vec!["Benchmark".into()];
+    for (label, _) in &presets {
+        header.push(format!("{label} A"));
+        header.push(format!("{label} P"));
+        header.push(format!("{label} D"));
+        header.push(format!("{label} SAT"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(&header_refs);
+    let mut c5_wins = 0usize;
+    let mut rows = 0usize;
+    for bench in Benchmark::all() {
+        let design = generate(bench, eval_scale());
+        let mut row = vec![bench.name().to_string()];
+        let mut areas: Vec<f64> = Vec::new();
+        for (_, coeffs) in &presets {
+            let opts = ShellOptions {
+                selection: SelectionOptions {
+                    coefficients: *coeffs,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            match shell_lock(&design, &opts) {
+                Ok(outcome) => {
+                    let oh = evaluate_overhead(&design, &outcome);
+                    let res = check_resilience(&design, &outcome);
+                    row.extend([
+                        f2(oh.area),
+                        f2(oh.power),
+                        f2(oh.delay),
+                        res.cell(),
+                    ]);
+                    areas.push(oh.area);
+                }
+                Err(_) => {
+                    row.extend(["-".into(), "-".into(), "-".into(), "n/a".into()]);
+                    areas.push(f64::INFINITY);
+                }
+            }
+        }
+        if areas.len() == 5 {
+            rows += 1;
+            let min = areas.iter().cloned().fold(f64::INFINITY, f64::min);
+            if (areas[4] - min).abs() < 0.05 {
+                c5_wins += 1;
+            }
+        }
+        t.row(row);
+    }
+    t.print("Table VI — Eq. 1 Coefficient Sweep {α,β,γ,λ,ξ,σ} (c5 = SheLL objectives)");
+    println!(
+        "c5 within 0.05 of the best area column on {c5_wins}/{rows} benchmarks \
+         (paper: c5 is the chosen operating point)"
+    );
+}

@@ -1,0 +1,58 @@
+//! Table VII — LGC/ROUTE correlation depth vs overhead.
+//!
+//! The SheLL constraint is that the accompanying LGC must be *directly*
+//! connected to the redacted ROUTE (depth 0). This harness sweeps the
+//! node-distance between LGC and ROUTE (0, 1, 2) on PicoSoC, AES, FIR.
+//! Expected shape: indirect LGC (depth 1–2) pays a large extra toll — the
+//! fabric needs back-and-forth routing and extra boundary pins — while
+//! depth 0 stays near the Table IV Case-4 numbers (the paper reports a
+//! ~2–3× gap between depth-2 and depth-0 columns).
+
+use shell_bench::{eval_scale, f3, Table};
+use shell_circuits::{generate, Benchmark};
+use shell_lock::{evaluate_overhead, shell_lock, SelectionOptions, ShellOptions};
+
+fn main() {
+    let benches = [Benchmark::PicoSoc, Benchmark::Aes, Benchmark::Fir];
+    let mut t = Table::new(&[
+        "Benchmark",
+        "d2 A", "d2 P", "d2 D",
+        "d1 A", "d1 P", "d1 D",
+        "d0 A", "d0 P", "d0 D",
+        "d2/d0 area",
+    ]);
+    for bench in benches {
+        let design = generate(bench, eval_scale());
+        let mut row = vec![bench.name().to_string()];
+        let mut area_by_depth = Vec::new();
+        // Paper order: depth 2, depth 1, then SheLL's direct depth 0.
+        for depth in [2usize, 1, 0] {
+            let opts = ShellOptions {
+                selection: SelectionOptions {
+                    lgc_depth: depth,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            match shell_lock(&design, &opts) {
+                Ok(outcome) => {
+                    let oh = evaluate_overhead(&design, &outcome);
+                    row.extend([f3(oh.area), f3(oh.power), f3(oh.delay)]);
+                    area_by_depth.push(oh.area);
+                }
+                Err(_) => {
+                    row.extend(["-".into(), "-".into(), "-".into()]);
+                    area_by_depth.push(f64::NAN);
+                }
+            }
+        }
+        let ratio = if area_by_depth.len() == 3 && area_by_depth[2].is_finite() {
+            format!("{:.2}x", area_by_depth[0] / area_by_depth[2])
+        } else {
+            "-".into()
+        };
+        row.push(ratio);
+        t.row(row);
+    }
+    t.print("Table VII — LGC/ROUTE Correlation Depth vs Overhead (SheLL = depth 0)");
+}

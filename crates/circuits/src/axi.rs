@@ -1,0 +1,115 @@
+//! AXI-style crossbar ROUTE circuit — the Table I workload.
+//!
+//! The paper describes the Xbar as "a simple memory-addressed MUX-based
+//! arbitration between multiple AXI channels". This generator builds exactly
+//! that: an address decoder producing one-hot grants, and per-output-bit
+//! one-hot mux chains selecting among the channels' data words. The chain
+//! shape (linear `Mux2` cascades with the accumulator on pin 1) is what the
+//! FABulous chain blocks absorb.
+
+use crate::common::{one_hot_decode, one_hot_route, select_bits};
+use shell_netlist::{NetId, Netlist};
+
+/// Generates an AXI-like crossbar column: `channels` input words of `width`
+/// bits, an address input selecting the granted channel, one output word.
+///
+/// Ports: `addr[..]` (⌈log₂ channels⌉ bits), `ch<i>[..]` data words, output
+/// `out[..]`.
+///
+/// ```
+/// use shell_circuits::axi_xbar;
+///
+/// let xbar = axi_xbar(4, 2);
+/// // addr = 2 bits, then 4 channels x 2 bits of data.
+/// assert_eq!(xbar.inputs().len(), 2 + 8);
+/// // addr = 1 selects channel 1 (here carrying 0b11).
+/// let mut inputs = vec![true, false];
+/// inputs.extend([false, false,  true, true,  false, true,  true, false]);
+/// assert_eq!(xbar.eval_comb(&inputs), vec![true, true]);
+/// ```
+///
+/// # Panics
+///
+/// Panics when `channels < 2` or `width == 0`.
+pub fn axi_xbar(channels: usize, width: usize) -> Netlist {
+    assert!(channels >= 2, "a crossbar needs at least two channels");
+    assert!(width > 0, "data width must be positive");
+    let mut n = Netlist::new(format!("axi_xbar_{channels}x{width}"));
+    let sel: Vec<NetId> = (0..select_bits(channels))
+        .map(|i| n.add_input(format!("addr[{i}]")))
+        .collect();
+    let words: Vec<Vec<NetId>> = (0..channels)
+        .map(|c| {
+            (0..width)
+                .map(|i| n.add_input(format!("ch{c}[{i}]")))
+                .collect()
+        })
+        .collect();
+    // Memory-addressed arbitration: decode the address to one-hot grants.
+    let hot = one_hot_decode(&mut n, "arb", &sel, channels);
+    // Route: grant i>0 steers channel i into the chain; grant 0 is the
+    // default word so its hot line is unused by the chain.
+    let out = one_hot_route(&mut n, "xbar", &hot[1..], &words);
+    for (i, &net) in out.iter().enumerate() {
+        n.add_output(format!("out[{i}]"), net);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shell_netlist::builder::{from_bits, to_bits};
+    use shell_netlist::NetlistStats;
+
+    #[test]
+    fn xbar_selects_addressed_channel() {
+        let n = axi_xbar(4, 4);
+        for addr in 0..4u64 {
+            let mut inp = to_bits(addr, 2);
+            for c in 0..4u64 {
+                inp.extend(to_bits(c + 10, 4));
+            }
+            let out = n.eval_comb(&inp);
+            assert_eq!(from_bits(&out), addr + 10, "addr {addr}");
+        }
+    }
+
+    #[test]
+    fn xbar_eight_channels() {
+        let n = axi_xbar(8, 2);
+        for addr in [0u64, 3, 7] {
+            let mut inp = to_bits(addr, 3);
+            for c in 0..8u64 {
+                inp.extend(to_bits(c % 4, 2));
+            }
+            let out = n.eval_comb(&inp);
+            assert_eq!(from_bits(&out), addr % 4, "addr {addr}");
+        }
+    }
+
+    #[test]
+    fn xbar_is_mux_dominated() {
+        let n = axi_xbar(8, 8);
+        let stats = NetlistStats::of(&n);
+        // The routing structure should dominate: one mux per (extra channel
+        // × bit), decoder logic is comparatively small.
+        assert_eq!(stats.muxes, 7 * 8);
+        assert!(stats.muxes * 2 > stats.cells - stats.muxes, "{stats}");
+    }
+
+    #[test]
+    fn xbar_port_counts() {
+        let n = axi_xbar(8, 16);
+        assert_eq!(n.inputs().len(), 3 + 8 * 16);
+        assert_eq!(n.outputs().len(), 16);
+        assert!(n.is_combinational());
+        n.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn xbar_needs_two_channels() {
+        axi_xbar(1, 4);
+    }
+}

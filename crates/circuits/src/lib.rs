@@ -1,0 +1,33 @@
+//! Synthetic benchmark circuits for the SheLL reproduction.
+//!
+//! The paper evaluates on a RISC-V SoC (PicoSoC) and four IPs (AES, FIR,
+//! SPMV, DLA — Table III) plus an 8-channel AXI crossbar ROUTE circuit
+//! (Table I). The original RTL is not available here, so this crate provides
+//! deterministic structural generators that match the *shape* the
+//! experiments depend on:
+//!
+//! * module/pin counts in the ranges of Table III,
+//! * the **named sub-circuits** the redaction cases target (`mem_wr`,
+//!   `regs_rdata`, `addround_last`, `shrow_last`, `ternary_add`,
+//!   `ind_array_inc`, `len_check`, `active_check`, `drain_PE`, …) — every
+//!   generated cell carries its block name as a prefix, so selection flows
+//!   can address "the connection between `mem_wr` and `picorv32.mem_wr`"
+//!   exactly like the paper's TfR column,
+//! * inter-block connectivity through **one-hot mux routing** (the ROUTE
+//!   structure SheLL maps onto fabric chains),
+//! * an AXI-style crossbar ([`axi_xbar`]) whose muxing is memory-addressed
+//!   one-hot arbitration, the Table I workload.
+//!
+//! All generators are deterministic (seeded) and parameterized by a
+//! [`Scale`] so tests run small while benches can grow the circuits.
+
+pub mod axi;
+pub mod benches;
+pub mod common;
+pub mod small;
+pub mod soc;
+
+pub use axi::axi_xbar;
+pub use benches::{generate, Benchmark, BenchmarkInfo, Scale};
+pub use small::{c17, mux_tree_circuit, ripple_adder};
+pub use soc::soc_platform;

@@ -1,0 +1,118 @@
+//! Small canonical circuits for tests and the Fig. 1 taxonomy experiments.
+
+use shell_netlist::{CellKind, NetId, Netlist};
+
+/// The classic ISCAS c17 benchmark: 5 inputs, 2 outputs, 6 NAND gates.
+pub fn c17() -> Netlist {
+    let mut n = Netlist::new("c17");
+    let g1 = n.add_input("G1");
+    let g2 = n.add_input("G2");
+    let g3 = n.add_input("G3");
+    let g6 = n.add_input("G6");
+    let g7 = n.add_input("G7");
+    let g10 = n.add_cell("G10", CellKind::Nand, vec![g1, g3]);
+    let g11 = n.add_cell("G11", CellKind::Nand, vec![g3, g6]);
+    let g16 = n.add_cell("G16", CellKind::Nand, vec![g2, g11]);
+    let g19 = n.add_cell("G19", CellKind::Nand, vec![g11, g7]);
+    let g22 = n.add_cell("G22", CellKind::Nand, vec![g10, g16]);
+    let g23 = n.add_cell("G23", CellKind::Nand, vec![g16, g19]);
+    n.add_output("G22", g22);
+    n.add_output("G23", g23);
+    n
+}
+
+/// A ripple-carry adder (`width`-bit operands, sum + carry outputs).
+pub fn ripple_adder(width: usize) -> Netlist {
+    let mut n = Netlist::new(format!("adder{width}"));
+    let a: Vec<NetId> = (0..width).map(|i| n.add_input(format!("a[{i}]"))).collect();
+    let b: Vec<NetId> = (0..width).map(|i| n.add_input(format!("b[{i}]"))).collect();
+    let mut carry = n.add_cell("c0", CellKind::Const(false), vec![]);
+    for i in 0..width {
+        let p = n.add_cell(format!("p{i}"), CellKind::Xor, vec![a[i], b[i]]);
+        let s = n.add_cell(format!("s{i}"), CellKind::Xor, vec![p, carry]);
+        let g = n.add_cell(format!("g{i}"), CellKind::And, vec![a[i], b[i]]);
+        let pc = n.add_cell(format!("pc{i}"), CellKind::And, vec![p, carry]);
+        carry = n.add_cell(format!("c{}", i + 1), CellKind::Or, vec![g, pc]);
+        n.add_output(format!("s[{i}]"), s);
+    }
+    n.add_output("cout", carry);
+    n
+}
+
+/// A pure N:1 mux tree (binary select) over `words` words of `width` bits —
+/// the simplest ROUTE-only circuit.
+pub fn mux_tree_circuit(words: usize, width: usize) -> Netlist {
+    assert!(words >= 2);
+    let mut n = Netlist::new(format!("muxtree{words}x{width}"));
+    let sel_bits = (usize::BITS - (words - 1).leading_zeros()) as usize;
+    let sel: Vec<NetId> = (0..sel_bits)
+        .map(|i| n.add_input(format!("sel[{i}]")))
+        .collect();
+    let data: Vec<Vec<NetId>> = (0..words)
+        .map(|w| {
+            (0..width)
+                .map(|i| n.add_input(format!("d{w}[{i}]")))
+                .collect()
+        })
+        .collect();
+    for bit in 0..width {
+        let mut layer: Vec<NetId> = data.iter().map(|w| w[bit]).collect();
+        for (lvl, &s) in sel.iter().enumerate() {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for (i, pair) in layer.chunks(2).enumerate() {
+                if pair.len() == 2 {
+                    next.push(n.add_cell(
+                        format!("m{bit}_{lvl}_{i}"),
+                        CellKind::Mux2,
+                        vec![s, pair[0], pair[1]],
+                    ));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            layer = next;
+        }
+        n.add_output(format!("o[{bit}]"), layer[0]);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shell_netlist::builder::{from_bits, to_bits};
+
+    #[test]
+    fn c17_truth_samples() {
+        let n = c17();
+        // All-zero inputs: G11 = 1, G16 = 1, G10 = 1 → G22 = 0; G19 = 1 → G23 = 0.
+        assert_eq!(n.eval_comb(&[false; 5]), vec![false, false]);
+        // All ones: G10 = 0, G11 = 0, G16 = 1, G19 = 1, G22 = 1, G23 = 0.
+        assert_eq!(n.eval_comb(&[true; 5]), vec![true, false]);
+        assert_eq!(n.cell_count(), 6);
+    }
+
+    #[test]
+    fn adder_sums() {
+        let n = ripple_adder(6);
+        for (a, b) in [(11u64, 22u64), (63, 1), (40, 23)] {
+            let mut inp = to_bits(a, 6);
+            inp.extend(to_bits(b, 6));
+            let out = n.eval_comb(&inp);
+            let sum = from_bits(&out[..6]) + ((out[6] as u64) << 6);
+            assert_eq!(sum, a + b);
+        }
+    }
+
+    #[test]
+    fn mux_tree_selects() {
+        let n = mux_tree_circuit(8, 2);
+        for s in 0..8u64 {
+            let mut inp = to_bits(s, 3);
+            for w in 0..8u64 {
+                inp.extend(to_bits(w % 4, 2));
+            }
+            assert_eq!(from_bits(&n.eval_comb(&inp)), s % 4, "sel {s}");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The configuration bitstream — the secret of eFPGA-based redaction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fabric configuration: one bit per position of the fabric's bit layout,
+/// plus a *used* mask recording which bits the place-and-route flow actually
+/// relies on (everything else is a shrink candidate for step 8).
+///
+/// ```
+/// use shell_fabric::Bitstream;
+///
+/// let mut bs = Bitstream::zeros(16);
+/// bs.set_field(4, 3, 0b101);          // program an encoded mux select
+/// assert_eq!(bs.field(4, 3), 0b101);
+/// assert_eq!(bs.used_count(), 3);     // only programmed bits are secret
+/// assert!(bs.utilization() < 0.25);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitstream {
+    bits: Vec<bool>,
+    used: Vec<bool>,
+}
+
+impl Bitstream {
+    /// All-zero bitstream of `len` bits, nothing marked used.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            bits: vec![false; len],
+            used: vec![false; len],
+        }
+    }
+
+    /// Total bit count.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` when the bitstream has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Sets bit `i` and marks it used.
+    pub fn set(&mut self, i: usize, value: bool) {
+        self.bits[i] = value;
+        self.used[i] = true;
+    }
+
+    /// Sets bit `i` without marking it used (default/don't-care fill).
+    pub fn set_unused(&mut self, i: usize, value: bool) {
+        self.bits[i] = value;
+    }
+
+    /// Marks bit `i` as used without changing its value.
+    pub fn mark_used(&mut self, i: usize) {
+        self.used[i] = true;
+    }
+
+    /// Whether bit `i` is load-bearing.
+    pub fn is_used(&self, i: usize) -> bool {
+        self.used[i]
+    }
+
+    /// Number of used bits.
+    pub fn used_count(&self) -> usize {
+        self.used.iter().filter(|&&u| u).count()
+    }
+
+    /// Fraction of bits that are load-bearing — the fabric-utilization
+    /// number behind Fig. 2.
+    pub fn utilization(&self) -> f64 {
+        if self.bits.is_empty() {
+            return 1.0;
+        }
+        self.used_count() as f64 / self.bits.len() as f64
+    }
+
+    /// The raw bit values.
+    pub fn as_bools(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// The used mask.
+    pub fn used_mask(&self) -> &[bool] {
+        &self.used
+    }
+
+    /// Writes an encoded mux select value starting at `base`, `width` bits,
+    /// LSB first, all marked used.
+    pub fn set_field(&mut self, base: usize, width: usize, value: u64) {
+        for i in 0..width {
+            self.set(base + i, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// Reads an LSB-first field.
+    pub fn field(&self, base: usize, width: usize) -> u64 {
+        (0..width).fold(0u64, |acc, i| acc | ((self.bits[base + i] as u64) << i))
+    }
+
+    /// Hamming distance to another bitstream of equal length.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn hamming_distance(&self, other: &Bitstream) -> usize {
+        assert_eq!(self.len(), other.len(), "bitstream length mismatch");
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Compact hex dump (MSB-first nibbles), for logging.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(self.bits.len().div_ceil(4));
+        for chunk in self.bits.chunks(4) {
+            let mut v = 0u8;
+            for (i, &b) in chunk.iter().enumerate() {
+                if b {
+                    v |= 1 << i;
+                }
+            }
+            s.push(char::from_digit(v as u32, 16).expect("nibble"));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Bitstream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bitstream[{} bits, {} used ({:.1}%)]",
+            self.len(),
+            self.used_count(),
+            100.0 * self.utilization()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_get() {
+        let mut b = Bitstream::zeros(16);
+        assert!(!b.bit(3));
+        b.set(3, true);
+        assert!(b.bit(3));
+        assert!(b.is_used(3));
+        assert!(!b.is_used(4));
+        assert_eq!(b.used_count(), 1);
+    }
+
+    #[test]
+    fn unused_set_does_not_mark() {
+        let mut b = Bitstream::zeros(8);
+        b.set_unused(2, true);
+        assert!(b.bit(2));
+        assert!(!b.is_used(2));
+        b.mark_used(2);
+        assert!(b.is_used(2));
+    }
+
+    #[test]
+    fn fields_roundtrip() {
+        let mut b = Bitstream::zeros(32);
+        b.set_field(5, 7, 0b1011001);
+        assert_eq!(b.field(5, 7), 0b1011001);
+        assert_eq!(b.used_count(), 7);
+    }
+
+    #[test]
+    fn utilization_math() {
+        let mut b = Bitstream::zeros(10);
+        for i in 0..4 {
+            b.set(i, i % 2 == 0);
+        }
+        assert!((b.utilization() - 0.4).abs() < 1e-12);
+        assert_eq!(Bitstream::zeros(0).utilization(), 1.0);
+    }
+
+    #[test]
+    fn hamming() {
+        let mut a = Bitstream::zeros(8);
+        let mut b = Bitstream::zeros(8);
+        a.set(0, true);
+        b.set(0, true);
+        b.set(5, true);
+        assert_eq!(a.hamming_distance(&b), 1);
+        assert_eq!(a.hamming_distance(&a.clone()), 0);
+    }
+
+    #[test]
+    fn hex_dump() {
+        let mut b = Bitstream::zeros(8);
+        b.set(0, true); // nibble0 = 0x1
+        b.set(7, true); // nibble1 = 0x8
+        assert_eq!(b.to_hex(), "18");
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut b = Bitstream::zeros(4);
+        b.set(1, true);
+        let text = b.to_string();
+        assert!(text.contains("4 bits"));
+        assert!(text.contains("1 used"));
+    }
+}

@@ -1,0 +1,44 @@
+//! eFPGA fabric modeling for the SheLL reproduction.
+//!
+//! This crate stands in for the **OpenFPGA** and **FABulous** fabric
+//! generators the paper builds on. It provides
+//!
+//! * [`arch`] — the architecture description ([`FabricConfig`]) with the two
+//!   styles the paper compares: an OpenFPGA-style fabric (square island
+//!   grid, MUX2-based switch trees, DFF configuration storage, no MUX
+//!   chains) and a FABulous-style fabric (MUX4-based switches with the
+//!   custom-cell optimization of \[21\], latch-based configuration, optional
+//!   dedicated MUX-chain blocks for ROUTE mapping),
+//! * [`fabric`] — a concrete W×H island-style [`Fabric`]: per-tile routing
+//!   tracks with programmable switch muxes, CLBs (k-LUTs with FF bypass),
+//!   boundary IO, optional chain blocks, and a deterministic configuration
+//!   bit layout,
+//! * [`bitstream`] — the configuration [`Bitstream`] (the *secret* of
+//!   eFPGA redaction) with serialization and utilization accounting,
+//! * [`netlist_gen`] — emission of the fabric as a flat
+//!   [`shell_netlist::Netlist`]: with config bits as **key inputs** (the
+//!   locked netlist an attacker reverse-engineers) or bound to a bitstream
+//!   (the activated design),
+//! * [`techlib`] — a Skywater-130nm-flavoured standard-cell library and the
+//!   area/power/delay model behind every overhead number in Tables IV–VII,
+//! * [`resources`] — fabric resource accounting in the units of Table I
+//!   (M4s, M2s, CFFs, latches),
+//! * [`shrink`] — step 8 of the SheLL flow: fixing unused configuration to
+//!   constants and sweeping the dead reconfigurability away (including the
+//!   combinational routing cycles that cyclic-reduction attacks exploit).
+
+pub mod arch;
+pub mod bitstream;
+pub mod fabric;
+pub mod netlist_gen;
+pub mod resources;
+pub mod shrink;
+pub mod techlib;
+
+pub use arch::{ConfigStorage, FabricConfig, FabricStyle};
+pub use bitstream::Bitstream;
+pub use fabric::{BitInfo, Fabric, SignalRef};
+pub use netlist_gen::{to_configured_netlist, to_locked_netlist, IoMap};
+pub use resources::{FabricUsage, ResourceReport};
+pub use shrink::shrink_locked_netlist;
+pub use techlib::{ApdReport, TechLibrary};

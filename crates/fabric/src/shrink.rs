@@ -1,0 +1,358 @@
+//! Step 8 of the SheLL flow: shrinking reconfigurability and size.
+//!
+//! Once FABulous has mapped the ROUTE and LGC sub-circuits and a bitstream
+//! exists, SheLL *physically removes* the resources the bitstream does not
+//! use — unused MUX-chain elements, LUTs and configuration storage — so
+//! that an attacker cannot pre-process the design by, e.g., ruling out
+//! combinational stateful cycles \[11\]. In netlist terms: configuration bits
+//! outside the *used* mask are bound to their constant default values, the
+//! logic they controlled constant-propagates away, and only the load-bearing
+//! key bits remain.
+
+use crate::bitstream::Bitstream;
+use shell_netlist::{CellId, CellKind, NetId, Netlist};
+use shell_synth::{clean_netlist, propagate_constants_cyclic};
+
+/// Binds **all** key inputs of `locked` to constant values, producing an
+/// unkeyed netlist (used to activate a locked design for comparison).
+///
+/// # Panics
+///
+/// Panics when `values.len()` differs from the key count.
+pub fn bind_keys(locked: &Netlist, values: &[bool]) -> Netlist {
+    assert_eq!(
+        values.len(),
+        locked.key_inputs().len(),
+        "key width mismatch"
+    );
+    rebind(locked, |i| Some(values[i]))
+}
+
+/// Shrinks a locked fabric netlist: key bits whose position is *not* marked
+/// used in `bitstream` are fixed to their bitstream values (the defaults the
+/// hardware would be tied to), while used bits stay secret key inputs. The
+/// result is cleaned, removing the dead reconfigurability — including any
+/// combinational routing cycles through unused switches.
+///
+/// Returns the shrunk netlist; its key inputs are exactly the used bits, in
+/// ascending bit order.
+///
+/// # Panics
+///
+/// Panics when the bitstream length differs from the key count.
+pub fn shrink_locked_netlist(locked: &Netlist, bitstream: &Bitstream) -> Netlist {
+    assert_eq!(
+        bitstream.len(),
+        locked.key_inputs().len(),
+        "bitstream/key width mismatch"
+    );
+    let shrunk = rebind(locked, |i| {
+        if bitstream.is_used(i) {
+            None // stays a key input
+        } else {
+            Some(bitstream.bit(i))
+        }
+    });
+    // Residual structural cycles may survive through *used* key muxes (their
+    // alternatives stay in hardware for secrecy). The defender knows the
+    // true key, so any cycle-forming alternative that the correct
+    // configuration does not select can be physically removed without
+    // weakening the secret — the paper's "removal of combinational stateful
+    // cycles" motivation for step 8.
+    let true_key: Vec<bool> = (0..bitstream.len())
+        .filter(|&i| bitstream.is_used(i))
+        .map(|i| bitstream.bit(i))
+        .collect();
+    defender_cycle_cut(shrunk, &true_key)
+}
+
+/// Cuts cycle-forming mux alternatives that the true key never selects.
+fn defender_cycle_cut(mut netlist: Netlist, true_key: &[bool]) -> Netlist {
+    use shell_graph::{condensation, DiGraph};
+    use std::collections::{HashMap, HashSet};
+    debug_assert_eq!(true_key.len(), netlist.key_inputs().len());
+    for _ in 0..netlist.cell_count().max(1) {
+        if netlist.topo_order().is_ok() {
+            break;
+        }
+        // Build the combinational cell graph.
+        let mut g: DiGraph<()> = DiGraph::with_capacity(netlist.cell_count());
+        let nodes: Vec<_> = netlist.cells().map(|_| g.add_node(())).collect();
+        for (id, c) in netlist.cells() {
+            if c.kind.is_sequential() {
+                continue;
+            }
+            for &inp in &c.inputs {
+                if let Some(drv) = netlist.net(inp).driver {
+                    if !netlist.cell(drv).kind.is_sequential() {
+                        g.add_edge(nodes[drv.index()], nodes[id.index()]);
+                    }
+                }
+            }
+        }
+        let key_value: HashMap<_, bool> = netlist
+            .key_inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, true_key[i]))
+            .collect();
+        let mut cut_any = false;
+        for comp in condensation(&g).cyclic_components {
+            let members: HashSet<usize> = comp.iter().map(|n| n.index()).collect();
+            // Find a key-selected Mux2 whose UNSELECTED data pin closes the
+            // cycle; tying that pin off is invisible under the true key.
+            let mut cut: Option<(CellId, usize)> = None;
+            'scan: for &node in &comp {
+                let cid = CellId(node.index() as u32);
+                let c = netlist.cell(cid);
+                // Dead data pins under the true key: Mux2 with a keyed
+                // select frees one pin; Mux4 with a keyed select frees two.
+                let dead_pins: Vec<usize> = match c.kind {
+                    CellKind::Mux2 => match key_value.get(&c.inputs[0]) {
+                        Some(&kv) => vec![if kv { 1 } else { 2 }],
+                        None => continue,
+                    },
+                    CellKind::Mux4 => {
+                        let s1 = key_value.get(&c.inputs[0]).copied();
+                        let s0 = key_value.get(&c.inputs[1]).copied();
+                        match (s1, s0) {
+                            (Some(h), Some(l)) => {
+                                let live = 2 + ((h as usize) << 1) + l as usize;
+                                (2..6).filter(|&p| p != live).collect()
+                            }
+                            (Some(h), None) => {
+                                if h { vec![2, 3] } else { vec![4, 5] }
+                            }
+                            (None, Some(l)) => {
+                                if l { vec![2, 4] } else { vec![3, 5] }
+                            }
+                            (None, None) => continue,
+                        }
+                    }
+                    _ => continue,
+                };
+                for dead_pin in dead_pins {
+                    if let Some(drv) = netlist.net(c.inputs[dead_pin]).driver {
+                        if members.contains(&drv.index()) {
+                            cut = Some((cid, dead_pin));
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            if let Some((cid, pin)) = cut {
+                let zero = netlist.add_cell(
+                    format!("shrink_cut_{}", cid.index()),
+                    CellKind::Const(false),
+                    vec![],
+                );
+                netlist.rewire_input(cid, pin, zero);
+                cut_any = true;
+            }
+        }
+        if !cut_any {
+            break; // nothing safely cuttable; report cycles as-is
+        }
+        netlist = propagate_constants_cyclic(&netlist);
+    }
+    if netlist.topo_order().is_ok() {
+        clean_netlist(&netlist)
+    } else {
+        netlist
+    }
+}
+
+/// Rebuilds `locked` with each key input either kept (`None`) or bound to a
+/// constant (`Some(v)`), then cleans the result.
+fn rebind(locked: &Netlist, mut binding: impl FnMut(usize) -> Option<bool>) -> Netlist {
+    let mut out = Netlist::new(format!("{}_shrunk", locked.name()));
+    let mut map: Vec<Option<NetId>> = vec![None; locked.net_count()];
+    for &n in locked.inputs() {
+        map[n.index()] = Some(out.add_input(locked.net(n).name.clone()));
+    }
+    let mut const_nets: [Option<NetId>; 2] = [None, None];
+    for (i, &k) in locked.key_inputs().iter().enumerate() {
+        match binding(i) {
+            None => {
+                map[k.index()] = Some(out.add_key_input(locked.net(k).name.clone()));
+            }
+            Some(v) => {
+                let net = if let Some(n) = const_nets[v as usize] {
+                    n
+                } else {
+                    let n = out.add_cell(
+                        format!("tie{}", v as u8),
+                        CellKind::Const(v),
+                        vec![],
+                    );
+                    const_nets[v as usize] = Some(n);
+                    n
+                };
+                map[k.index()] = Some(net);
+            }
+        }
+    }
+    // Copy every cell verbatim; the netlist may be cyclic, so pre-create all
+    // cell output nets before wiring inputs.
+    for (_, c) in locked.cells() {
+        if map[c.output.index()].is_none() {
+            map[c.output.index()] = Some(out.add_net(locked.net(c.output).name.clone()));
+        }
+    }
+    for (_, c) in locked.cells() {
+        let ins: Vec<NetId> = c
+            .inputs
+            .iter()
+            .map(|n| {
+                if let Some(m) = map[n.index()] {
+                    m
+                } else {
+                    // Floating net read by a cell.
+                    let m = out.add_net(locked.net(*n).name.clone());
+                    map[n.index()] = Some(m);
+                    m
+                }
+            })
+            .collect();
+        let target = map[c.output.index()].expect("pre-created");
+        out.add_cell_driving(c.name.clone(), c.kind, ins, target)
+            .expect("rebind copy");
+    }
+    for (name, n) in locked.outputs() {
+        let m = map[n.index()].expect("output mapped");
+        out.add_output(name.clone(), m);
+    }
+    // The bound netlist is generally still *structurally* cyclic (the mux
+    // mesh references itself); the cycle-tolerant constant propagation
+    // collapses configured paths to wires, after which ordinary cleaning
+    // applies. If genuinely keyed loops survive, the partially-simplified
+    // netlist is returned and callers treat cycle count as a metric.
+    let propagated = propagate_constants_cyclic(&out);
+    if propagated.topo_order().is_ok() {
+        clean_netlist(&propagated)
+    } else {
+        propagated
+    }
+}
+
+/// Counts combinational cycles (cyclic SCC components) in a netlist's cell
+/// graph — the pre-processing signal an attacker uses and the quantity the
+/// shrink ablation reports.
+pub fn combinational_cycle_count(netlist: &Netlist) -> usize {
+    use shell_graph::DiGraph;
+    let mut g: DiGraph<()> = DiGraph::with_capacity(netlist.cell_count());
+    let nodes: Vec<_> = netlist.cells().map(|_| g.add_node(())).collect();
+    for (id, c) in netlist.cells() {
+        if c.kind.is_sequential() {
+            continue;
+        }
+        for &inp in &c.inputs {
+            if let Some(drv) = netlist.net(inp).driver {
+                if !netlist.cell(drv).kind.is_sequential() {
+                    g.add_edge(nodes[drv.index()], nodes[id.index()]);
+                }
+            }
+        }
+    }
+    shell_graph::condensation(&g).cyclic_components.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shell_netlist::{CellKind, Netlist};
+
+    fn keyed_xor() -> Netlist {
+        let mut n = Netlist::new("kx");
+        let a = n.add_input("a");
+        let k0 = n.add_key_input("k0");
+        let k1 = n.add_key_input("k1");
+        let t = n.add_cell("t", CellKind::Xor, vec![a, k0]);
+        let f = n.add_cell("f", CellKind::Xor, vec![t, k1]);
+        n.add_output("f", f);
+        n
+    }
+
+    #[test]
+    fn bind_keys_removes_all_keys() {
+        let n = keyed_xor();
+        let bound = bind_keys(&n, &[true, false]);
+        assert!(bound.key_inputs().is_empty());
+        // f = a ^ 1 ^ 0 = !a — but bind_keys does not clean; evaluate.
+        assert_eq!(bound.eval_comb(&[true]), vec![false]);
+        assert_eq!(bound.eval_comb(&[false]), vec![true]);
+    }
+
+    #[test]
+    fn shrink_keeps_used_bits_only() {
+        let n = keyed_xor();
+        let mut bs = Bitstream::zeros(2);
+        bs.set(0, true); // k0 used, value irrelevant for kept bits
+        bs.set_unused(1, false); // k1 unused, tied to 0
+        let shrunk = shrink_locked_netlist(&n, &bs);
+        assert_eq!(shrunk.key_inputs().len(), 1);
+        // With k0 = 1: f = !a.
+        assert_eq!(shrunk.eval_comb_with_key(&[true], &[true]), vec![false]);
+        // With k0 = 0: f = a.
+        assert_eq!(shrunk.eval_comb_with_key(&[true], &[false]), vec![true]);
+    }
+
+    #[test]
+    fn shrink_removes_dead_logic() {
+        // A keyed mux whose unused arm carries a big cone: binding the
+        // select to 0 must sweep the cone away.
+        let mut n = Netlist::new("m");
+        let a = n.add_input("a");
+        let ksel = n.add_key_input("ksel");
+        let mut chain = a;
+        for i in 0..10 {
+            chain = n.add_cell(format!("inv{i}"), CellKind::Not, vec![chain]);
+        }
+        let f = n.add_cell("f", CellKind::Mux2, vec![ksel, a, chain]);
+        n.add_output("f", f);
+        let mut bs = Bitstream::zeros(1);
+        bs.set_unused(0, false); // select tied to 0 → arm `a`
+        let shrunk = shrink_locked_netlist(&n, &bs);
+        assert_eq!(shrunk.key_inputs().len(), 0);
+        assert_eq!(shrunk.cell_count(), 0, "whole inverter chain swept");
+        assert_eq!(shrunk.eval_comb(&[true]), vec![true]);
+    }
+
+    #[test]
+    fn shrink_breaks_routing_cycles() {
+        // Two muxes in a ring; a key bit selects whether the ring closes.
+        // Binding the bits to the acyclic configuration must produce an
+        // acyclic netlist.
+        let mut n = Netlist::new("ring");
+        let a = n.add_input("a");
+        let k0 = n.add_key_input("k0");
+        let k1 = n.add_key_input("k1");
+        let t0 = n.add_net("t0");
+        let t1 = n.add_net("t1");
+        n.add_cell_driving("m0", CellKind::Mux2, vec![k0, a, t1], t0)
+            .unwrap();
+        n.add_cell_driving("m1", CellKind::Mux2, vec![k1, a, t0], t1)
+            .unwrap();
+        n.add_output("f", t1);
+        assert_eq!(combinational_cycle_count(&n), 1);
+        let mut bs = Bitstream::zeros(2);
+        bs.set_unused(0, false); // m0 ← a
+        bs.set_unused(1, false); // m1 ← a
+        let shrunk = shrink_locked_netlist(&n, &bs);
+        assert_eq!(combinational_cycle_count(&shrunk), 0);
+        assert!(shrunk.validate().is_ok());
+        assert_eq!(shrunk.eval_comb(&[true]), vec![true]);
+    }
+
+    #[test]
+    fn cycle_count_zero_for_dag() {
+        let n = keyed_xor();
+        assert_eq!(combinational_cycle_count(&n), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn bind_wrong_width_panics() {
+        bind_keys(&keyed_xor(), &[true]);
+    }
+}

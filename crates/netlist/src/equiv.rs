@@ -1,0 +1,302 @@
+//! Functional equivalence checking (the JasperGold stand-in).
+//!
+//! Three strategies, all oracle-free:
+//!
+//! * [`equiv_exhaustive`] — walks every input pattern; exact, for small
+//!   combinational cones (≤ 22 inputs).
+//! * [`equiv_random`] — Monte-Carlo vectors for wide combinational designs.
+//! * [`equiv_sequential_random`] — lockstep random simulation from reset for
+//!   sequential designs.
+//!
+//! SAT-based combinational equivalence (a miter) lives in `shell-attacks`,
+//! which owns the CNF machinery.
+
+use crate::netlist::Netlist;
+use crate::sim::Simulator;
+
+/// Outcome of an equivalence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivResult {
+    /// No distinguishing pattern found (exact for exhaustive checks).
+    Equivalent,
+    /// A concrete input assignment on which the two designs differ.
+    Counterexample {
+        /// Primary-input assignment.
+        inputs: Vec<bool>,
+        /// Outputs of the first design.
+        lhs: Vec<bool>,
+        /// Outputs of the second design.
+        rhs: Vec<bool>,
+    },
+    /// The designs are structurally incomparable (port count mismatch).
+    Incomparable(String),
+}
+
+impl EquivResult {
+    /// `true` when the check concluded equivalence.
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, EquivResult::Equivalent)
+    }
+}
+
+fn check_shape(a: &Netlist, b: &Netlist) -> Option<EquivResult> {
+    if a.inputs().len() != b.inputs().len() {
+        return Some(EquivResult::Incomparable(format!(
+            "input count {} vs {}",
+            a.inputs().len(),
+            b.inputs().len()
+        )));
+    }
+    if a.outputs().len() != b.outputs().len() {
+        return Some(EquivResult::Incomparable(format!(
+            "output count {} vs {}",
+            a.outputs().len(),
+            b.outputs().len()
+        )));
+    }
+    None
+}
+
+/// Exhaustively compares two combinational netlists over all `2^n` input
+/// patterns. Key inputs of each design must be bound by the caller via
+/// `lhs_key` / `rhs_key` (pass `&[]` for unkeyed designs).
+///
+/// # Panics
+///
+/// Panics if either design is sequential or has more than 22 primary inputs
+/// (use [`equiv_random`] instead).
+pub fn equiv_exhaustive(
+    a: &Netlist,
+    b: &Netlist,
+    lhs_key: &[bool],
+    rhs_key: &[bool],
+) -> EquivResult {
+    if let Some(bad) = check_shape(a, b) {
+        return bad;
+    }
+    let n = a.inputs().len();
+    assert!(n <= 22, "exhaustive equivalence limited to 22 inputs");
+    assert!(a.is_combinational() && b.is_combinational());
+    let mut pattern = vec![false; n];
+    for bits in 0..(1u64 << n) {
+        for (i, p) in pattern.iter_mut().enumerate() {
+            *p = (bits >> i) & 1 == 1;
+        }
+        let lhs = a.eval_comb_with_key(&pattern, lhs_key);
+        let rhs = b.eval_comb_with_key(&pattern, rhs_key);
+        if lhs != rhs {
+            return EquivResult::Counterexample {
+                inputs: pattern,
+                lhs,
+                rhs,
+            };
+        }
+    }
+    EquivResult::Equivalent
+}
+
+/// Compares two combinational netlists on `vectors` uniformly random input
+/// patterns drawn from a deterministic xorshift stream seeded with `seed`.
+pub fn equiv_random(
+    a: &Netlist,
+    b: &Netlist,
+    lhs_key: &[bool],
+    rhs_key: &[bool],
+    vectors: usize,
+    seed: u64,
+) -> EquivResult {
+    if let Some(bad) = check_shape(a, b) {
+        return bad;
+    }
+    assert!(a.is_combinational() && b.is_combinational());
+    let n = a.inputs().len();
+    let mut rng = XorShift::new(seed);
+    for _ in 0..vectors {
+        let pattern: Vec<bool> = (0..n).map(|_| rng.next_bool()).collect();
+        let lhs = a.eval_comb_with_key(&pattern, lhs_key);
+        let rhs = b.eval_comb_with_key(&pattern, rhs_key);
+        if lhs != rhs {
+            return EquivResult::Counterexample {
+                inputs: pattern,
+                lhs,
+                rhs,
+            };
+        }
+    }
+    EquivResult::Equivalent
+}
+
+/// Lockstep random simulation of two sequential designs from reset.
+///
+/// Both designs start with all-zero state; `cycles` random input vectors are
+/// applied to both and every cycle's outputs are compared.
+pub fn equiv_sequential_random(
+    a: &Netlist,
+    b: &Netlist,
+    lhs_key: &[bool],
+    rhs_key: &[bool],
+    cycles: usize,
+    seed: u64,
+) -> EquivResult {
+    if let Some(bad) = check_shape(a, b) {
+        return bad;
+    }
+    let n = a.inputs().len();
+    let mut rng = XorShift::new(seed);
+    let mut sim_a = Simulator::new(a);
+    let mut sim_b = Simulator::new(b);
+    for _ in 0..cycles {
+        let pattern: Vec<bool> = (0..n).map(|_| rng.next_bool()).collect();
+        let lhs = sim_a.step(&pattern, lhs_key);
+        let rhs = sim_b.step(&pattern, rhs_key);
+        if lhs != rhs {
+            return EquivResult::Counterexample {
+                inputs: pattern,
+                lhs,
+                rhs,
+            };
+        }
+    }
+    EquivResult::Equivalent
+}
+
+/// Minimal deterministic PRNG so this crate stays dependency-free.
+#[derive(Debug, Clone)]
+pub(crate) struct XorShift(u64);
+
+impl XorShift {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self(seed.max(1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    pub(crate) fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+
+    fn and2() -> Netlist {
+        let mut n = Netlist::new("and2");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let f = n.add_cell("f", CellKind::And, vec![a, b]);
+        n.add_output("f", f);
+        n
+    }
+
+    fn and2_via_nand() -> Netlist {
+        let mut n = Netlist::new("and2n");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let t = n.add_cell("t", CellKind::Nand, vec![a, b]);
+        let f = n.add_cell("f", CellKind::Not, vec![t]);
+        n.add_output("f", f);
+        n
+    }
+
+    fn or2() -> Netlist {
+        let mut n = Netlist::new("or2");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let f = n.add_cell("f", CellKind::Or, vec![a, b]);
+        n.add_output("f", f);
+        n
+    }
+
+    #[test]
+    fn exhaustive_equivalent() {
+        assert!(equiv_exhaustive(&and2(), &and2_via_nand(), &[], &[]).is_equivalent());
+    }
+
+    #[test]
+    fn exhaustive_counterexample() {
+        match equiv_exhaustive(&and2(), &or2(), &[], &[]) {
+            EquivResult::Counterexample { inputs, lhs, rhs } => {
+                let a = and2().eval_comb(&inputs);
+                let o = or2().eval_comb(&inputs);
+                assert_eq!(a, lhs);
+                assert_eq!(o, rhs);
+                assert_ne!(lhs, rhs);
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_incomparable() {
+        let mut single = Netlist::new("one");
+        let a = single.add_input("a");
+        let f = single.add_cell("f", CellKind::Buf, vec![a]);
+        single.add_output("f", f);
+        assert!(matches!(
+            equiv_exhaustive(&and2(), &single, &[], &[]),
+            EquivResult::Incomparable(_)
+        ));
+    }
+
+    #[test]
+    fn keyed_equivalence_depends_on_key() {
+        // locked: f = (a AND b) XOR k
+        let mut locked = Netlist::new("locked");
+        let a = locked.add_input("a");
+        let b = locked.add_input("b");
+        let k = locked.add_key_input("k");
+        let t = locked.add_cell("t", CellKind::And, vec![a, b]);
+        let f = locked.add_cell("f", CellKind::Xor, vec![t, k]);
+        locked.add_output("f", f);
+        assert!(equiv_exhaustive(&and2(), &locked, &[], &[false]).is_equivalent());
+        assert!(!equiv_exhaustive(&and2(), &locked, &[], &[true]).is_equivalent());
+    }
+
+    #[test]
+    fn random_agrees_with_exhaustive() {
+        assert!(
+            equiv_random(&and2(), &and2_via_nand(), &[], &[], 200, 42).is_equivalent()
+        );
+        assert!(!equiv_random(&and2(), &or2(), &[], &[], 200, 42).is_equivalent());
+    }
+
+    #[test]
+    fn sequential_equiv_detects_difference() {
+        // Two counters: q' = q ^ 1 vs q' = q (constant).
+        let mut t1 = Netlist::new("t1");
+        {
+            let q = t1.add_net("q");
+            let one = t1.add_cell("one", CellKind::Const(true), vec![]);
+            let nx = t1.add_cell("nx", CellKind::Xor, vec![q, one]);
+            t1.add_cell_driving("ff", CellKind::Dff, vec![nx], q).unwrap();
+            t1.add_output("q", q);
+        }
+        let mut t2 = Netlist::new("t2");
+        {
+            let q = t2.add_net("q");
+            let buf = t2.add_cell("b", CellKind::Buf, vec![q]);
+            t2.add_cell_driving("ff", CellKind::Dff, vec![buf], q).unwrap();
+            t2.add_output("q", q);
+        }
+        assert!(!equiv_sequential_random(&t1, &t2, &[], &[], 8, 7).is_equivalent());
+        assert!(equiv_sequential_random(&t1, &t1.clone(), &[], &[], 8, 7).is_equivalent());
+    }
+
+    #[test]
+    fn xorshift_deterministic() {
+        let mut a = XorShift::new(9);
+        let mut b = XorShift::new(9);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Conversion from a netlist to the connectivity graph of SheLL step 1.
+//!
+//! Nodes are cells plus virtual nodes for primary inputs and outputs; edges
+//! follow signal flow. The paper builds this graph from a FIRRTL intermediate
+//! form — here the netlist IR is already flat, so the conversion is direct.
+
+use crate::netlist::{CellId, NetId, Netlist};
+use shell_graph::{DiGraph, NodeId};
+
+/// What a connectivity-graph node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphNode {
+    /// A netlist cell.
+    Cell(CellId),
+    /// A primary-input port (controllable point).
+    Input(NetId),
+    /// A key-input port.
+    KeyInput(NetId),
+    /// A primary-output port (observable point).
+    Output(usize),
+}
+
+/// The connectivity graph of a netlist plus the index maps the selection
+/// pipeline needs.
+#[derive(Debug, Clone)]
+pub struct ConnectivityGraph {
+    /// The graph itself; payloads identify the source construct.
+    pub graph: DiGraph<GraphNode>,
+    /// Graph node of every cell, indexed by `CellId::index()`.
+    pub cell_nodes: Vec<NodeId>,
+    /// Virtual nodes for primary inputs (controllable set).
+    pub input_nodes: Vec<NodeId>,
+    /// Virtual nodes for primary outputs (observable set).
+    pub output_nodes: Vec<NodeId>,
+}
+
+impl ConnectivityGraph {
+    /// The controllable ∪ observable node set used by the `ClsC`/`BtwC`
+    /// measures of Table II.
+    pub fn io_nodes(&self) -> Vec<NodeId> {
+        self.input_nodes
+            .iter()
+            .chain(&self.output_nodes)
+            .copied()
+            .collect()
+    }
+
+    /// The cell behind a graph node, if it is a cell node.
+    pub fn as_cell(&self, node: NodeId) -> Option<CellId> {
+        match self.graph.payload(node) {
+            GraphNode::Cell(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+/// Builds the connectivity graph of `netlist`.
+///
+/// Edges:
+/// * input/key port → every cell reading that net,
+/// * cell → every cell reading its output net (one edge per reading pin, so
+///   fanout multiplicity is preserved — each connection is a routing resource),
+/// * cell → output port for nets exported as primary outputs.
+pub fn to_graph(netlist: &Netlist) -> ConnectivityGraph {
+    let mut graph = DiGraph::with_capacity(netlist.cell_count() + 8);
+    let cell_nodes: Vec<NodeId> = netlist
+        .cells()
+        .map(|(id, _)| graph.add_node(GraphNode::Cell(id)))
+        .collect();
+    let input_nodes: Vec<NodeId> = netlist
+        .inputs()
+        .iter()
+        .map(|&n| graph.add_node(GraphNode::Input(n)))
+        .collect();
+    let key_nodes: Vec<NodeId> = netlist
+        .key_inputs()
+        .iter()
+        .map(|&n| graph.add_node(GraphNode::KeyInput(n)))
+        .collect();
+    let output_nodes: Vec<NodeId> = netlist
+        .outputs()
+        .iter()
+        .enumerate()
+        .map(|(i, _)| graph.add_node(GraphNode::Output(i)))
+        .collect();
+
+    // Net source lookup: either a cell node or a port node.
+    let mut net_source: Vec<Option<NodeId>> = vec![None; netlist.net_count()];
+    for (id, c) in netlist.cells() {
+        net_source[c.output.index()] = Some(cell_nodes[id.index()]);
+    }
+    for (i, &n) in netlist.inputs().iter().enumerate() {
+        net_source[n.index()] = Some(input_nodes[i]);
+    }
+    for (i, &n) in netlist.key_inputs().iter().enumerate() {
+        net_source[n.index()] = Some(key_nodes[i]);
+    }
+
+    for (id, c) in netlist.cells() {
+        for &inp in &c.inputs {
+            if let Some(src) = net_source[inp.index()] {
+                graph.add_edge(src, cell_nodes[id.index()]);
+            }
+        }
+    }
+    for (i, (_, net)) in netlist.outputs().iter().enumerate() {
+        if let Some(src) = net_source[net.index()] {
+            graph.add_edge(src, output_nodes[i]);
+        }
+    }
+
+    ConnectivityGraph {
+        graph,
+        cell_nodes,
+        input_nodes,
+        output_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+
+    fn sample() -> Netlist {
+        let mut n = Netlist::new("s");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g = n.add_cell("g", CellKind::And, vec![a, b]);
+        let h = n.add_cell("h", CellKind::Not, vec![g]);
+        n.add_output("h", h);
+        n.add_output("g", g);
+        n
+    }
+
+    #[test]
+    fn node_counts() {
+        let cg = to_graph(&sample());
+        // 2 cells + 2 inputs + 2 outputs.
+        assert_eq!(cg.graph.node_count(), 6);
+        assert_eq!(cg.cell_nodes.len(), 2);
+        assert_eq!(cg.input_nodes.len(), 2);
+        assert_eq!(cg.output_nodes.len(), 2);
+        assert_eq!(cg.io_nodes().len(), 4);
+    }
+
+    #[test]
+    fn edges_follow_signal_flow() {
+        let n = sample();
+        let cg = to_graph(&n);
+        let g_cell = cg.cell_nodes[0];
+        let h_cell = cg.cell_nodes[1];
+        assert!(cg.graph.has_edge(g_cell, h_cell));
+        assert!(!cg.graph.has_edge(h_cell, g_cell));
+        // a -> g
+        assert!(cg.graph.has_edge(cg.input_nodes[0], g_cell));
+        // h -> output0, g -> output1
+        assert!(cg.graph.has_edge(h_cell, cg.output_nodes[0]));
+        assert!(cg.graph.has_edge(g_cell, cg.output_nodes[1]));
+    }
+
+    #[test]
+    fn fanout_multiplicity_preserved() {
+        let mut n = Netlist::new("m");
+        let a = n.add_input("a");
+        // One cell reads `a` on two pins.
+        let f = n.add_cell("f", CellKind::And, vec![a, a]);
+        n.add_output("f", f);
+        let cg = to_graph(&n);
+        assert_eq!(cg.graph.out_degree(cg.input_nodes[0]), 2);
+    }
+
+    #[test]
+    fn as_cell_distinguishes_ports() {
+        let cg = to_graph(&sample());
+        assert!(cg.as_cell(cg.cell_nodes[0]).is_some());
+        assert!(cg.as_cell(cg.input_nodes[0]).is_none());
+        assert!(cg.as_cell(cg.output_nodes[0]).is_none());
+    }
+
+    #[test]
+    fn key_inputs_get_nodes() {
+        let mut n = Netlist::new("k");
+        let a = n.add_input("a");
+        let k = n.add_key_input("k");
+        let f = n.add_cell("f", CellKind::Xor, vec![a, k]);
+        n.add_output("f", f);
+        let cg = to_graph(&n);
+        // 1 cell + 1 input + 1 key + 1 output.
+        assert_eq!(cg.graph.node_count(), 4);
+        // Key node feeds the cell but is not part of io_nodes (keys are
+        // neither observable nor controllable by the attacker pre-unlock).
+        assert_eq!(cg.io_nodes().len(), 2);
+    }
+}

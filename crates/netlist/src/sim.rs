@@ -1,0 +1,307 @@
+//! Levelized functional simulation.
+//!
+//! The simulator is the reproduction's *oracle*: the paper's threat model
+//! gives the attacker an activated chip with a fully-scanned architecture,
+//! i.e. the ability to load any flip-flop state, apply any input, and observe
+//! outputs and next-state. [`Simulator::state`] / [`Simulator::set_state`]
+//! model scan access directly.
+
+use crate::cell::CellKind;
+use crate::netlist::{CellId, Netlist};
+
+/// A compiled, reusable simulator for one [`Netlist`].
+///
+/// Construction levelizes the combinational logic once; each
+/// [`Simulator::step`] is then a single linear pass.
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    order: Vec<CellId>,
+    seq_cells: Vec<CellId>,
+    /// Current value of every net.
+    values: Vec<bool>,
+    /// State of sequential cells, indexed parallel to `seq_cells`.
+    state: Vec<bool>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Compiles a simulator for `netlist`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational cycle (validate first when
+    /// handling untrusted input).
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let order = netlist
+            .topo_order()
+            .expect("cannot simulate a combinationally cyclic netlist");
+        let order: Vec<CellId> = order
+            .into_iter()
+            .filter(|id| !netlist.cell(*id).kind.is_sequential())
+            .collect();
+        let seq_cells = netlist.sequential_cells();
+        let state = vec![false; seq_cells.len()];
+        let values = vec![false; netlist.net_count()];
+        Self {
+            netlist,
+            order,
+            seq_cells,
+            values,
+            state,
+        }
+    }
+
+    /// The netlist being simulated.
+    pub fn netlist(&self) -> &Netlist {
+        self.netlist
+    }
+
+    /// Resets all sequential state to 0.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|s| *s = false);
+    }
+
+    /// Scan access: current flip-flop/latch state, ordered by
+    /// [`Netlist::sequential_cells`].
+    pub fn state(&self) -> &[bool] {
+        &self.state
+    }
+
+    /// Scan access: loads a full state vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the number of sequential cells.
+    pub fn set_state(&mut self, state: &[bool]) {
+        assert_eq!(state.len(), self.state.len(), "scan chain length mismatch");
+        self.state.copy_from_slice(state);
+    }
+
+    /// Number of sequential elements.
+    pub fn state_len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Combinationally settles the netlist for the given inputs without
+    /// advancing the clock, returning the primary outputs.
+    ///
+    /// Transparent latches are given one transparency pass: after the first
+    /// settle, any latch with an active enable propagates its data input and
+    /// the logic is settled again (sufficient for the configuration-latch
+    /// topology used by the FABulous-style fabric, where latch enables never
+    /// depend on latch outputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics on input/key width mismatch.
+    pub fn settle(&mut self, pi: &[bool], key: &[bool]) -> Vec<bool> {
+        self.load_inputs(pi, key);
+        self.propagate();
+        // Latch transparency pass.
+        let mut any_transparent = false;
+        for (i, &cid) in self.seq_cells.iter().enumerate() {
+            let c = self.netlist.cell(cid);
+            if c.kind == CellKind::Latch {
+                let en = self.values[c.inputs[0].index()];
+                if en {
+                    let d = self.values[c.inputs[1].index()];
+                    if self.values[c.output.index()] != d {
+                        self.values[c.output.index()] = d;
+                        self.state[i] = d;
+                        any_transparent = true;
+                    }
+                }
+            }
+        }
+        if any_transparent {
+            self.propagate();
+        }
+        self.read_outputs()
+    }
+
+    /// Advances one clock cycle: settles combinationally, samples the
+    /// outputs, then updates every DFF with its data input and every latch
+    /// with its (enable-gated) data input.
+    pub fn step(&mut self, pi: &[bool], key: &[bool]) -> Vec<bool> {
+        let outputs = self.settle(pi, key);
+        // Sample next-state for all sequential cells simultaneously.
+        let next: Vec<bool> = self
+            .seq_cells
+            .iter()
+            .enumerate()
+            .map(|(i, &cid)| {
+                let c = self.netlist.cell(cid);
+                match c.kind {
+                    CellKind::Dff => self.values[c.inputs[0].index()],
+                    CellKind::Latch => {
+                        let en = self.values[c.inputs[0].index()];
+                        if en {
+                            self.values[c.inputs[1].index()]
+                        } else {
+                            self.state[i]
+                        }
+                    }
+                    _ => unreachable!("non-sequential cell in seq list"),
+                }
+            })
+            .collect();
+        self.state.copy_from_slice(&next);
+        outputs
+    }
+
+    /// Runs a sequence of input vectors from the current state, returning the
+    /// output vector of every cycle.
+    pub fn run(&mut self, stimulus: &[(Vec<bool>, Vec<bool>)]) -> Vec<Vec<bool>> {
+        stimulus
+            .iter()
+            .map(|(pi, key)| self.step(pi, key))
+            .collect()
+    }
+
+    fn load_inputs(&mut self, pi: &[bool], key: &[bool]) {
+        let nl = self.netlist;
+        assert_eq!(pi.len(), nl.inputs().len(), "primary input width mismatch");
+        assert_eq!(key.len(), nl.key_inputs().len(), "key width mismatch");
+        for (i, &net) in nl.inputs().iter().enumerate() {
+            self.values[net.index()] = pi[i];
+        }
+        for (i, &net) in nl.key_inputs().iter().enumerate() {
+            self.values[net.index()] = key[i];
+        }
+        for (i, &cid) in self.seq_cells.iter().enumerate() {
+            let out = nl.cell(cid).output;
+            self.values[out.index()] = self.state[i];
+        }
+    }
+
+    fn propagate(&mut self) {
+        let mut scratch: Vec<bool> = Vec::with_capacity(8);
+        for &id in &self.order {
+            let c = self.netlist.cell(id);
+            scratch.clear();
+            scratch.extend(c.inputs.iter().map(|n| self.values[n.index()]));
+            self.values[c.output.index()] = c.kind.eval_comb(&scratch);
+        }
+    }
+
+    fn read_outputs(&self) -> Vec<bool> {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|(_, n)| self.values[n.index()])
+            .collect()
+    }
+
+    /// Value of an arbitrary net after the last settle/step (probing).
+    pub fn probe(&self, net: crate::netlist::NetId) -> bool {
+        self.values[net.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    /// q' = q XOR en  (toggle FF with enable), out = q.
+    fn toggle_ff() -> Netlist {
+        let mut n = Netlist::new("toggle");
+        let en = n.add_input("en");
+        let q = n.add_net("q");
+        let next = n.add_cell("next", CellKind::Xor, vec![q, en]);
+        n.add_cell_driving("ff", CellKind::Dff, vec![next], q)
+            .unwrap();
+        n.add_output("q", q);
+        n
+    }
+
+    #[test]
+    fn toggle_sequence() {
+        let n = toggle_ff();
+        let mut sim = Simulator::new(&n);
+        // Output is Mealy-sampled before the edge: q starts 0.
+        assert_eq!(sim.step(&[true], &[]), vec![false]);
+        assert_eq!(sim.step(&[false], &[]), vec![true]);
+        assert_eq!(sim.step(&[true], &[]), vec![true]);
+        assert_eq!(sim.step(&[false], &[]), vec![false]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let n = toggle_ff();
+        let mut sim = Simulator::new(&n);
+        sim.step(&[true], &[]);
+        assert_eq!(sim.state(), &[true]);
+        sim.reset();
+        assert_eq!(sim.state(), &[false]);
+    }
+
+    #[test]
+    fn scan_access() {
+        let n = toggle_ff();
+        let mut sim = Simulator::new(&n);
+        sim.set_state(&[true]);
+        assert_eq!(sim.settle(&[false], &[]), vec![true]);
+        assert_eq!(sim.state_len(), 1);
+    }
+
+    #[test]
+    fn settle_does_not_clock() {
+        let n = toggle_ff();
+        let mut sim = Simulator::new(&n);
+        sim.settle(&[true], &[]);
+        sim.settle(&[true], &[]);
+        assert_eq!(sim.state(), &[false], "settle must not change state");
+    }
+
+    #[test]
+    fn latch_holds_and_loads() {
+        // out = latch(en, d)
+        let mut n = Netlist::new("latch");
+        let en = n.add_input("en");
+        let d = n.add_input("d");
+        let q = n.add_cell("l", CellKind::Latch, vec![en, d]);
+        n.add_output("q", q);
+        let mut sim = Simulator::new(&n);
+        // Enabled: transparent, value visible immediately via settle.
+        assert_eq!(sim.step(&[true, true], &[]), vec![true]);
+        // Disabled: holds.
+        assert_eq!(sim.step(&[false, false], &[]), vec![true]);
+        assert_eq!(sim.step(&[false, true], &[]), vec![true]);
+        // Re-enable with 0.
+        assert_eq!(sim.step(&[true, false], &[]), vec![false]);
+    }
+
+    #[test]
+    fn run_matches_steps() {
+        let n = toggle_ff();
+        let mut sim = Simulator::new(&n);
+        let stim = vec![
+            (vec![true], vec![]),
+            (vec![true], vec![]),
+            (vec![false], vec![]),
+        ];
+        let outs = sim.run(&stim);
+        assert_eq!(outs, vec![vec![false], vec![true], vec![false]]);
+    }
+
+    #[test]
+    fn probe_internal_net() {
+        let mut n = Netlist::new("p");
+        let a = n.add_input("a");
+        let w = n.add_cell("inv", CellKind::Not, vec![a]);
+        let f = n.add_cell("buf", CellKind::Buf, vec![w]);
+        n.add_output("f", f);
+        let mut sim = Simulator::new(&n);
+        sim.settle(&[false], &[]);
+        assert!(sim.probe(w));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_input_width_panics() {
+        let n = toggle_ff();
+        let mut sim = Simulator::new(&n);
+        sim.step(&[], &[]);
+    }
+}

@@ -1,0 +1,647 @@
+//! Packing and placement.
+//!
+//! Packing turns a LUT-mapped netlist into **slots** (LUT + optional fused
+//! register, or a constant generator); placement assigns slots to CLB sites
+//! with simulated annealing on half-perimeter wirelength; IO assignment
+//! binds primary inputs/outputs to boundary pads near their logic.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shell_fabric::Fabric;
+use shell_netlist::{CellId, CellKind, LutMask, NetId, Netlist};
+use std::collections::HashMap;
+
+/// What a CLB slot implements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlotContent {
+    /// A LUT (optionally registered). `lut_cell` is the source LUT cell,
+    /// `dff_cell` the fused register, if any.
+    Lut {
+        /// Source LUT cell.
+        lut_cell: CellId,
+        /// Fused DFF, when the LUT output is registered.
+        dff_cell: Option<CellId>,
+    },
+    /// A standalone register: identity LUT + FF. `pin_net` is the data net.
+    Reg {
+        /// Source DFF cell.
+        dff_cell: CellId,
+    },
+    /// A constant generator (mask all-ones or all-zeros).
+    Const {
+        /// Source constant cell.
+        cell: CellId,
+        /// The constant value.
+        value: bool,
+    },
+}
+
+/// A packed slot: content plus the nets on its pins.
+#[derive(Debug, Clone)]
+pub struct Slot {
+    /// Implementation of the slot.
+    pub content: SlotContent,
+    /// Input nets, in LUT-pin order (empty for constants).
+    pub input_nets: Vec<NetId>,
+    /// LUT truth table (already padded to the fabric's k).
+    pub mask: u64,
+    /// Whether the FF output is selected.
+    pub registered: bool,
+    /// The net this slot drives.
+    pub output_net: NetId,
+}
+
+/// Packs a LUT-mapped netlist into slots.
+///
+/// Accepted cells: `Lut` (arity ≤ k), `Dff`, `Const`. A DFF whose data input
+/// is a single-fanout LUT fuses into that LUT's slot; other DFFs get a
+/// passthrough-LUT slot.
+///
+/// # Errors
+///
+/// Returns a message naming the first unmappable cell (wrong kind or LUT
+/// arity above the fabric's k).
+pub fn pack(netlist: &Netlist, k: usize) -> Result<Vec<Slot>, String> {
+    pack_filtered(netlist, k, |_| true)
+}
+
+/// Like [`pack`], but cells whose kind fails `include` are skipped instead
+/// of rejected — used by the hybrid chain flow, where mux cells map to
+/// chain blocks rather than CLB slots.
+///
+/// # Errors
+///
+/// Same conditions as [`pack`] for the included cells.
+pub fn pack_filtered(
+    netlist: &Netlist,
+    k: usize,
+    include: impl Fn(CellKind) -> bool,
+) -> Result<Vec<Slot>, String> {
+    let fanout = netlist.fanout_table();
+    let mut fused_dff: HashMap<CellId, CellId> = HashMap::new(); // lut -> dff
+    let mut fused_luts: HashMap<CellId, CellId> = HashMap::new(); // dff -> lut
+    for (cid, c) in netlist.cells() {
+        if c.kind != CellKind::Dff {
+            continue;
+        }
+        let d = c.inputs[0];
+        if let Some(drv) = netlist.net(d).driver {
+            let dc = netlist.cell(drv);
+            let single_fanout =
+                fanout[d.index()].len() == 1 && !netlist.is_primary_output(d);
+            if matches!(dc.kind, CellKind::Lut(_)) && single_fanout {
+                fused_dff.insert(drv, cid);
+                fused_luts.insert(cid, drv);
+            }
+        }
+    }
+    let mut slots = Vec::new();
+    for (cid, c) in netlist.cells() {
+        if !include(c.kind) {
+            continue;
+        }
+        match c.kind {
+            CellKind::Lut(mask) => {
+                if mask.arity() > k {
+                    return Err(format!(
+                        "LUT `{}` has arity {} > fabric k {}",
+                        c.name,
+                        mask.arity(),
+                        k
+                    ));
+                }
+                let dff_cell = fused_dff.get(&cid).copied();
+                let (output_net, registered) = match dff_cell {
+                    Some(d) => (netlist.cell(d).output, true),
+                    None => (c.output, false),
+                };
+                slots.push(Slot {
+                    content: SlotContent::Lut {
+                        lut_cell: cid,
+                        dff_cell,
+                    },
+                    input_nets: c.inputs.clone(),
+                    mask: pad_mask(mask, k),
+                    registered,
+                    output_net,
+                });
+            }
+            CellKind::Dff => {
+                if fused_luts.contains_key(&cid) {
+                    continue; // carried by its LUT's slot
+                }
+                // Identity LUT on pin 0: mask = pin0 pattern padded to k.
+                let identity = pad_mask(LutMask::new(0b10, 1), k);
+                slots.push(Slot {
+                    content: SlotContent::Reg { dff_cell: cid },
+                    input_nets: vec![c.inputs[0]],
+                    mask: identity,
+                    registered: true,
+                    output_net: c.output,
+                });
+            }
+            CellKind::Const(v) => {
+                slots.push(Slot {
+                    content: SlotContent::Const { cell: cid, value: v },
+                    input_nets: Vec::new(),
+                    mask: if v { u64::MAX } else { 0 },
+                    registered: false,
+                    output_net: c.output,
+                });
+            }
+            other => {
+                return Err(format!(
+                    "cell `{}` of kind {} is not LUT-mapped",
+                    c.name, other
+                ))
+            }
+        }
+    }
+    Ok(slots)
+}
+
+/// Extends a LUT mask of arity `a` to arity `k` by ignoring the extra pins.
+fn pad_mask(mask: LutMask, k: usize) -> u64 {
+    let a = mask.arity();
+    debug_assert!(a <= k);
+    let mut out = 0u64;
+    for row in 0..(1usize << k) {
+        let low = row & ((1 << a) - 1);
+        if (mask.mask() >> low) & 1 == 1 {
+            out |= 1 << row;
+        }
+    }
+    out
+}
+
+/// A placement: slot index → CLB site, plus IO pad bindings.
+#[derive(Debug, Clone, Default)]
+pub struct Placement {
+    /// `slot index → (x, y, clb slot)`.
+    pub sites: Vec<(usize, usize, usize)>,
+    /// `primary input index → input pad`.
+    pub input_pads: Vec<usize>,
+    /// `primary output index → output pad`.
+    pub output_pads: Vec<usize>,
+    /// Final half-perimeter wirelength.
+    pub hpwl: f64,
+}
+
+/// Places `slots` onto `fabric` with simulated annealing, then assigns IO
+/// pads greedily near the placed logic.
+///
+/// Deterministic for a given `seed`.
+///
+/// # Errors
+///
+/// Returns a message when the fabric lacks LUT sites or IO pads.
+pub fn place(
+    netlist: &Netlist,
+    slots: &[Slot],
+    fabric: &Fabric,
+    seed: u64,
+) -> Result<Placement, String> {
+    place_with_hints(
+        netlist,
+        slots,
+        fabric,
+        seed,
+        &HashMap::new(),
+        &std::collections::HashSet::new(),
+    )
+}
+
+/// Like [`place`], but `pin_hints` supplies extra tile locations reading or
+/// driving a net (e.g. chain-block pins, which are placed before the CLB
+/// pass) so IO pads land near *all* consumers of a port, not only slots.
+///
+/// # Errors
+///
+/// Same conditions as [`place`].
+pub fn place_with_hints(
+    netlist: &Netlist,
+    slots: &[Slot],
+    fabric: &Fabric,
+    seed: u64,
+    pin_hints: &HashMap<NetId, Vec<(usize, usize)>>,
+    pad_averse_tiles: &std::collections::HashSet<(usize, usize)>,
+) -> Result<Placement, String> {
+    let per_clb = fabric.config().luts_per_clb;
+    let capacity = fabric.lut_sites();
+    if slots.len() > capacity {
+        return Err(format!(
+            "{} slots exceed {} LUT sites",
+            slots.len(),
+            capacity
+        ));
+    }
+    if netlist.inputs().len() + netlist.key_inputs().len() > fabric.io_input_count() {
+        return Err("not enough input pads".into());
+    }
+    if netlist.outputs().len() > fabric.io_output_count() {
+        return Err("not enough output pads".into());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Site list: (x, y, s).
+    let site_of = |i: usize| -> (usize, usize, usize) {
+        let tile = i / per_clb;
+        (tile % fabric.width(), tile / fabric.width(), i % per_clb)
+    };
+    // slot_at[site] = Some(slot index). Initial placement spreads slots
+    // round-robin over tiles: clustering them into the first tiles would
+    // swamp those tiles' routing channels before annealing even starts.
+    // Chain tiles are skipped first (their tracks belong to the chain pins)
+    // and only used when the rest of the grid is full.
+    let tiles = fabric.tile_count();
+    let mut tile_order: Vec<usize> = (0..tiles).collect();
+    tile_order.sort_by_key(|&t| {
+        let xy = (t % fabric.width(), t / fabric.width());
+        pad_averse_tiles.contains(&xy)
+    });
+    let mut slot_at: Vec<Option<usize>> = vec![None; capacity];
+    for s in 0..slots.len() {
+        let tile = tile_order[s % tiles];
+        let site = tile * per_clb + (s / tiles);
+        slot_at[site] = Some(s);
+    }
+
+    // Connectivity: for HPWL we need, per net, the slots touching it.
+    // Build net → participating slot indices (+ IO flags handled as fixed
+    // boundary pull towards edges, approximated by ignoring them here).
+    let mut net_slots: HashMap<NetId, Vec<usize>> = HashMap::new();
+    for (si, slot) in slots.iter().enumerate() {
+        for &n in &slot.input_nets {
+            net_slots.entry(n).or_default().push(si);
+        }
+        net_slots.entry(slot.output_net).or_default().push(si);
+    }
+    // Net terminals: movable slot members plus fixed tiles (chain-block
+    // pins placed before the CLB pass, passed in as hints).
+    let nets: Vec<(Vec<usize>, Vec<(usize, usize)>)> = net_slots
+        .iter()
+        .map(|(net, members)| {
+            let fixed = pin_hints.get(net).cloned().unwrap_or_default();
+            (members.clone(), fixed)
+        })
+        .filter(|(m, f)| m.len() + f.len() > 1)
+        .collect();
+
+    // Per-tile distinct input nets of each slot (for the congestion term).
+    let channel = fabric.config().channel_width;
+    let track_budget = channel.saturating_sub(2).max(1) as f64;
+    let hpwl = |positions: &[(usize, usize, usize)]| -> f64 {
+        let mut total = 0.0;
+        for (members, fixed) in &nets {
+            let (mut x0, mut x1, mut y0, mut y1) = (usize::MAX, 0, usize::MAX, 0);
+            for &s in members {
+                let (x, y, _) = positions[s];
+                x0 = x0.min(x);
+                x1 = x1.max(x);
+                y0 = y0.min(y);
+                y1 = y1.max(y);
+            }
+            for &(x, y) in fixed {
+                x0 = x0.min(x);
+                x1 = x1.max(x);
+                y0 = y0.min(y);
+                y1 = y1.max(y);
+            }
+            total += (x1 - x0 + y1 - y0) as f64;
+        }
+        // Congestion term: every slot pin needs a track at its tile; tiles
+        // whose distinct-net demand exceeds the channel budget are strongly
+        // penalized — wirelength alone rewards exactly the clustering that
+        // makes tiles unroutable.
+        let mut tile_nets: HashMap<(usize, usize), std::collections::HashSet<NetId>> =
+            HashMap::new();
+        for (si, slot) in slots.iter().enumerate() {
+            let (x, y, _) = positions[si];
+            let entry = tile_nets.entry((x, y)).or_default();
+            for &n in &slot.input_nets {
+                entry.insert(n);
+            }
+            // The slot output also claims a track at this tile (its source
+            // attachment) whenever anything reads it.
+            entry.insert(slot.output_net);
+        }
+        for demand in tile_nets.values() {
+            let overflow = demand.len() as f64 - track_budget;
+            if overflow > 0.0 {
+                total += overflow * 40.0;
+            }
+        }
+        // Slots on chain tiles compete with the chain's own pin tracks.
+        for (si, _) in slots.iter().enumerate() {
+            let (x, y, _) = positions[si];
+            if pad_averse_tiles.contains(&(x, y)) {
+                total += 25.0;
+            }
+        }
+        total
+    };
+
+    let mut positions: Vec<(usize, usize, usize)> = vec![(0, 0, 0); slots.len()];
+    let rebuild_positions =
+        |slot_at: &[Option<usize>], positions: &mut Vec<(usize, usize, usize)>| {
+            for (site, s) in slot_at.iter().enumerate() {
+                if let Some(s) = s {
+                    positions[*s] = site_of(site);
+                }
+            }
+        };
+    rebuild_positions(&slot_at, &mut positions);
+    let mut cost = hpwl(&positions);
+
+    // Simulated annealing over site swaps.
+    let moves = 200 * capacity.max(slots.len()).max(8);
+    let mut temperature = (cost / nets.len().max(1) as f64).max(1.0);
+    let _ = &nets;
+    for m in 0..moves {
+        let a = rng.gen_range(0..capacity);
+        let b = rng.gen_range(0..capacity);
+        if a == b || (slot_at[a].is_none() && slot_at[b].is_none()) {
+            continue;
+        }
+        slot_at.swap(a, b);
+        rebuild_positions(&slot_at, &mut positions);
+        let new_cost = hpwl(&positions);
+        let delta = new_cost - cost;
+        let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
+        if accept {
+            cost = new_cost;
+        } else {
+            slot_at.swap(a, b);
+            rebuild_positions(&slot_at, &mut positions);
+        }
+        if m % 64 == 63 {
+            temperature *= 0.9;
+        }
+    }
+    rebuild_positions(&slot_at, &mut positions);
+    cost = hpwl(&positions);
+
+    // IO assignment: each PI pad near the centroid of its reading slots;
+    // each PO pad near its driving slot. Greedy with uniqueness. Input and
+    // output pads share one `used` set: pad `i`'s input attaches at the very
+    // boundary track node pad `i`'s output reads, so a PI and a PO on the
+    // same index would contend for that node forever.
+    // Corner tiles expose the same track node through pads of two sides, so
+    // uniqueness is tracked per *attachment node*, not per pad index.
+    let mut used_nodes: std::collections::HashSet<(usize, usize, usize)> =
+        std::collections::HashSet::new();
+    let tiles_of = |members: &[usize], net: NetId| -> Vec<(usize, usize)> {
+        let mut tiles: Vec<(usize, usize)> = members
+            .iter()
+            .map(|&m| (positions[m].0, positions[m].1))
+            .collect();
+        if let Some(hints) = pin_hints.get(&net) {
+            tiles.extend(hints.iter().copied());
+        }
+        tiles
+    };
+    let mut input_pads = Vec::with_capacity(netlist.inputs().len());
+    for &pi in netlist.inputs() {
+        let readers: Vec<usize> = net_slots.get(&pi).cloned().unwrap_or_default();
+        let tiles = tiles_of(&readers, pi);
+        let (cx, cy) = tile_centroid(&tiles, fabric);
+        let pad = best_pad(fabric, cx, cy, &used_nodes, pad_averse_tiles, &tiles, &mut rng)
+            .ok_or_else(|| "ran out of input pads".to_string())?;
+        used_nodes.insert(pad_node(fabric, pad));
+        input_pads.push(pad);
+    }
+    let mut output_pads = Vec::with_capacity(netlist.outputs().len());
+    for (_, net) in netlist.outputs() {
+        let drivers: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.output_net == *net)
+            .map(|(i, _)| i)
+            .collect();
+        let tiles = tiles_of(&drivers, *net);
+        let (cx, cy) = tile_centroid(&tiles, fabric);
+        let pad = best_pad(fabric, cx, cy, &used_nodes, pad_averse_tiles, &tiles, &mut rng)
+            .ok_or_else(|| "ran out of output pads".to_string())?;
+        used_nodes.insert(pad_node(fabric, pad));
+        output_pads.push(pad);
+    }
+
+    Ok(Placement {
+        sites: positions,
+        input_pads,
+        output_pads,
+        hpwl: cost,
+    })
+}
+
+fn tile_centroid(tiles: &[(usize, usize)], fabric: &Fabric) -> (f64, f64) {
+    if tiles.is_empty() {
+        return (fabric.width() as f64 / 2.0, fabric.height() as f64 / 2.0);
+    }
+    let (mut sx, mut sy) = (0.0, 0.0);
+    for &(x, y) in tiles {
+        sx += x as f64;
+        sy += y as f64;
+    }
+    (sx / tiles.len() as f64, sy / tiles.len() as f64)
+}
+
+fn pad_node(fabric: &Fabric, pad: usize) -> (usize, usize, usize) {
+    match fabric.io_input_attachment(pad).0 {
+        shell_fabric::SignalRef::Track { x, y, t } => (x, y, t),
+        _ => unreachable!("pads attach to tracks"),
+    }
+}
+
+fn best_pad(
+    fabric: &Fabric,
+    cx: f64,
+    cy: f64,
+    used_nodes: &std::collections::HashSet<(usize, usize, usize)>,
+    pad_averse_tiles: &std::collections::HashSet<(usize, usize)>,
+    own_tiles: &[(usize, usize)],
+    rng: &mut StdRng,
+) -> Option<usize> {
+    // Cap pads per boundary tile at half the channel width so pass-through
+    // routing always finds free tracks next to the pads.
+    let cap = (fabric.config().channel_width / 2).max(1);
+    let mut tile_load: HashMap<(usize, usize), usize> = HashMap::new();
+    for &(x, y, _) in used_nodes {
+        *tile_load.entry((x, y)).or_insert(0) += 1;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    let mut fallback: Option<(usize, f64)> = None;
+    for pad in 0..fabric.io_input_count() {
+        let (x, y, t) = pad_node(fabric, pad);
+        if used_nodes.contains(&(x, y, t)) {
+            continue;
+        }
+        let mut d = (x as f64 - cx).abs() + (y as f64 - cy).abs();
+        // Seed-dependent jitter so retry attempts explore different pad
+        // assignments (a deterministic greedy can wall a pad in between two
+        // pinned neighbors forever).
+        d += rng.gen::<f64>() * 0.9;
+        // A pad on a chain tile burns one of that block's scarce tracks:
+        // strongly discourage it for nets that do not sink there.
+        if pad_averse_tiles.contains(&(x, y)) && !own_tiles.contains(&(x, y)) {
+            d += 1000.0;
+        }
+        if tile_load.get(&(x, y)).copied().unwrap_or(0) < cap {
+            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((pad, d));
+            }
+        } else if fallback.map(|(_, bd)| d < bd).unwrap_or(true) {
+            fallback = Some((pad, d));
+        }
+    }
+    best.or(fallback).map(|(p, _)| p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shell_fabric::FabricConfig;
+    use shell_synth::lut_map;
+
+    fn adder_mapped() -> Netlist {
+        use shell_netlist::NetlistBuilder;
+        let mut b = NetlistBuilder::new("adder");
+        let x = b.input_bus("x", 3);
+        let y = b.input_bus("y", 3);
+        let (s, c) = b.adder(&x, &y);
+        b.output_bus("s", &s);
+        b.output("c", c);
+        lut_map(&b.finish(), 4).netlist
+    }
+
+    #[test]
+    fn pack_adder() {
+        let n = adder_mapped();
+        let slots = pack(&n, 4).expect("packable");
+        assert!(!slots.is_empty());
+        for s in &slots {
+            assert!(s.input_nets.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn pack_fuses_single_fanout_dff() {
+        let mut n = Netlist::new("r");
+        let a = n.add_input("a");
+        let l = n.add_cell("l", CellKind::Lut(LutMask::new(0b01, 1)), vec![a]);
+        let q = n.add_cell("q", CellKind::Dff, vec![l]);
+        n.add_output("q", q);
+        let slots = pack(&n, 4).expect("packable");
+        assert_eq!(slots.len(), 1);
+        assert!(slots[0].registered);
+        assert!(matches!(
+            slots[0].content,
+            SlotContent::Lut { dff_cell: Some(_), .. }
+        ));
+    }
+
+    #[test]
+    fn pack_standalone_dff_gets_identity_slot() {
+        let mut n = Netlist::new("r2");
+        let a = n.add_input("a");
+        // DFF fed directly by a PI.
+        let q = n.add_cell("q", CellKind::Dff, vec![a]);
+        n.add_output("q", q);
+        let slots = pack(&n, 4).expect("packable");
+        assert_eq!(slots.len(), 1);
+        assert!(matches!(slots[0].content, SlotContent::Reg { .. }));
+        // Identity mask: rows with bit0 set are 1.
+        for row in 0..16u64 {
+            let expect = row & 1 == 1;
+            assert_eq!((slots[0].mask >> row) & 1 == 1, expect);
+        }
+    }
+
+    #[test]
+    fn pack_dff_not_fused_when_lut_has_other_readers() {
+        let mut n = Netlist::new("r3");
+        let a = n.add_input("a");
+        let l = n.add_cell("l", CellKind::Lut(LutMask::new(0b01, 1)), vec![a]);
+        let q = n.add_cell("q", CellKind::Dff, vec![l]);
+        n.add_output("q", q);
+        n.add_output("comb", l); // second reader
+        let slots = pack(&n, 4).expect("packable");
+        assert_eq!(slots.len(), 2);
+    }
+
+    #[test]
+    fn pack_rejects_random_logic() {
+        let mut n = Netlist::new("bad");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let f = n.add_cell("f", CellKind::And, vec![a, b]);
+        n.add_output("f", f);
+        assert!(pack(&n, 4).is_err());
+    }
+
+    #[test]
+    fn pack_rejects_oversized_lut() {
+        let mut n = Netlist::new("big");
+        let ins: Vec<NetId> = (0..6).map(|i| n.add_input(format!("i{i}"))).collect();
+        let f = n.add_cell("f", CellKind::Lut(LutMask::new(0, 6)), ins);
+        n.add_output("f", f);
+        assert!(pack(&n, 4).is_err());
+    }
+
+    #[test]
+    fn place_assigns_unique_sites_and_pads() {
+        let n = adder_mapped();
+        let slots = pack(&n, 4).unwrap();
+        let tiles = slots.len().div_ceil(4).max(2);
+        let side = (tiles as f64).sqrt().ceil() as usize;
+        let f = Fabric::generate(FabricConfig::fabulous_style(false), side + 1, side + 1);
+        let p = place(&n, &slots, &f, 42).expect("placeable");
+        // Unique sites.
+        let mut seen = std::collections::HashSet::new();
+        for &s in &p.sites {
+            assert!(seen.insert(s), "duplicate site {s:?}");
+        }
+        // Unique pads.
+        let mut ip = std::collections::HashSet::new();
+        for &pad in &p.input_pads {
+            assert!(ip.insert(pad));
+        }
+        let mut op = std::collections::HashSet::new();
+        for &pad in &p.output_pads {
+            assert!(op.insert(pad));
+        }
+        assert_eq!(p.input_pads.len(), n.inputs().len());
+        assert_eq!(p.output_pads.len(), n.outputs().len());
+    }
+
+    #[test]
+    fn place_deterministic_per_seed() {
+        let n = adder_mapped();
+        let slots = pack(&n, 4).unwrap();
+        let f = Fabric::generate(FabricConfig::fabulous_style(false), 4, 4);
+        let p1 = place(&n, &slots, &f, 7).unwrap();
+        let p2 = place(&n, &slots, &f, 7).unwrap();
+        assert_eq!(p1.sites, p2.sites);
+        assert_eq!(p1.input_pads, p2.input_pads);
+    }
+
+    #[test]
+    fn place_fails_on_tiny_fabric() {
+        let n = adder_mapped();
+        let slots = pack(&n, 4).unwrap();
+        let f = Fabric::generate(FabricConfig::fabulous_style(false), 1, 1);
+        if slots.len() > 4 {
+            assert!(place(&n, &slots, &f, 0).is_err());
+        }
+    }
+
+    #[test]
+    fn pad_mask_extension() {
+        // XOR2 padded to 4 pins ignores pins 2,3.
+        let m = pad_mask(LutMask::new(0b0110, 2), 4);
+        for row in 0..16u64 {
+            let expect = ((row & 1) ^ ((row >> 1) & 1)) == 1;
+            assert_eq!((m >> row) & 1 == 1, expect, "row {row}");
+        }
+    }
+}

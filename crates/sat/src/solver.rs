@@ -1,0 +1,823 @@
+//! An incremental CDCL (conflict-driven clause learning) SAT solver.
+//!
+//! Architecture follows the MiniSat lineage: two-watched-literal unit
+//! propagation, first-UIP conflict analysis with non-chronological
+//! backjumping, VSIDS variable activity with an indexed max-heap, phase
+//! saving, and geometric restarts. The solver is *incremental*: clauses may
+//! be added between [`Solver::solve`] calls and solving under
+//! [`Solver::solve_with_assumptions`] is supported — both are required by the
+//! oracle-guided SAT attack, which grows the formula by two circuit copies
+//! per distinguishing input pattern.
+//!
+//! A **conflict budget** ([`Solver::set_conflict_budget`]) reproduces the
+//! paper's 48-hour attack timeout at laptop scale: when the budget is
+//! exhausted the solver returns [`SatResult::Unknown`].
+
+use crate::cnf::{Cnf, Lit, Var};
+
+/// Result of a solve call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A model was found; read it with [`Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget ran out before an answer was reached.
+    Unknown,
+}
+
+/// Counters exposed for attack reporting and benchmarks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Total conflicts across all solve calls.
+    pub conflicts: u64,
+    /// Total decisions.
+    pub decisions: u64,
+    /// Total literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses currently in the database.
+    pub learnt_clauses: usize,
+}
+
+const UNDEF_CLAUSE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// Indexed max-heap over variable activities (the VSIDS order).
+#[derive(Debug, Clone, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    /// `positions[v] == usize::MAX` when `v` is not in the heap.
+    positions: Vec<usize>,
+}
+
+impl VarHeap {
+    fn ensure(&mut self, n: usize) {
+        while self.positions.len() < n {
+            self.positions.push(usize::MAX);
+        }
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.positions
+            .get(v.index())
+            .is_some_and(|&p| p != usize::MAX)
+    }
+
+    fn push(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.ensure(v.index() + 1);
+        self.positions[v.index()] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("nonempty");
+        self.positions[top.index()] = usize::MAX;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.positions[last.index()] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    fn bump(&mut self, v: Var, activity: &[f64]) {
+        if let Some(&p) = self.positions.get(v.index()) {
+            if p != usize::MAX {
+                self.sift_up(p, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i].index()] > activity[self.heap[parent].index()] {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len()
+                && activity[self.heap[l].index()] > activity[self.heap[best].index()]
+            {
+                best = l;
+            }
+            if r < self.heap.len()
+                && activity[self.heap[r].index()] > activity[self.heap[best].index()]
+            {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.positions[self.heap[a].index()] = a;
+        self.positions[self.heap[b].index()] = b;
+    }
+}
+
+/// The CDCL solver. See the [module docs](self) for the feature set.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// `watches[lit.code()]`: clauses in which `lit` is one of the two
+    /// watched literals.
+    watches: Vec<Vec<u32>>,
+    assigns: Vec<Option<bool>>,
+    /// Decision level of each assigned variable.
+    level: Vec<u32>,
+    /// Antecedent clause of each implied variable.
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: VarHeap,
+    polarity: Vec<bool>,
+    /// `false` once a top-level conflict proves global UNSAT.
+    ok: bool,
+    stats: SolverStats,
+    budget: Option<u64>,
+    /// Scratch for conflict analysis.
+    seen: Vec<bool>,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Self {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            heap: VarHeap::default(),
+            polarity: Vec::new(),
+            ok: true,
+            stats: SolverStats::default(),
+            budget: None,
+            seen: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(None);
+        self.level.push(0);
+        self.reason.push(UNDEF_CLAUSE);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.push(v, &self.activity);
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Limits the total number of conflicts future solve calls may spend
+    /// (cumulative, compared against [`SolverStats::conflicts`]); `None`
+    /// removes the limit.
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.budget = budget;
+    }
+
+    /// Solver statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        let mut s = self.stats;
+        s.learnt_clauses = self.clauses.len();
+        s
+    }
+
+    /// Adds a clause. Returns `false` when the clause makes the formula
+    /// trivially unsatisfiable at the top level (empty clause or conflicting
+    /// unit); the solver then answers [`SatResult::Unsat`] forever.
+    ///
+    /// Adding a clause after a [`SatResult::Sat`] answer discards the model
+    /// (the solver backtracks to level 0 first).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.cancel_until(0);
+        if !self.ok {
+            return false;
+        }
+        // Normalize: sort, dedupe, drop tautologies and false literals.
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        let mut filtered = Vec::with_capacity(c.len());
+        for (i, &l) in c.iter().enumerate() {
+            if i + 1 < c.len() && c[i + 1] == !l {
+                return true; // tautology: x ∨ ¬x (sorted adjacency)
+            }
+            if i > 0 && c[i - 1] == !l {
+                return true;
+            }
+            match self.lit_value(l) {
+                Some(true) => return true, // already satisfied at level 0
+                Some(false) => continue,   // falsified at level 0: drop
+                None => filtered.push(l),
+            }
+        }
+        match filtered.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(filtered[0], UNDEF_CLAUSE);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                self.attach_clause(filtered);
+                true
+            }
+        }
+    }
+
+    /// Loads all clauses of a [`Cnf`], allocating variables as needed.
+    /// Returns `false` when the formula is trivially unsatisfiable.
+    pub fn add_cnf(&mut self, cnf: &Cnf) -> bool {
+        while self.num_vars() < cnf.num_vars as usize {
+            self.new_var();
+        }
+        for c in &cnf.clauses {
+            if !self.add_clause(c) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let idx = self.clauses.len() as u32;
+        self.watches[lits[0].code()].push(idx);
+        self.watches[lits[1].code()].push(idx);
+        self.clauses.push(Clause { lits });
+        idx
+    }
+
+    /// Value of a variable in the current (partial) assignment — after a
+    /// [`SatResult::Sat`] answer this reads the model.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        self.assigns[v.index()]
+    }
+
+    fn lit_value(&self, l: Lit) -> Option<bool> {
+        self.assigns[l.var().index()].map(|b| b == l.is_positive())
+    }
+
+    /// Solves the formula with no assumptions.
+    pub fn solve(&mut self) -> SatResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under the given assumption literals. The assumptions behave as
+    /// forced first decisions; [`SatResult::Unsat`] then means "unsat under
+    /// these assumptions" and the solver remains usable.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !self.ok {
+            return SatResult::Unsat;
+        }
+        self.cancel_until(0);
+        let mut conflicts_until_restart = 100u64;
+        let mut conflicts_this_epoch = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                // Conflict.
+                self.stats.conflicts += 1;
+                conflicts_this_epoch += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SatResult::Unsat;
+                }
+                if self.decision_level() <= assumptions.len() as u32 {
+                    // The conflict depends only on assumptions.
+                    self.cancel_until(0);
+                    return SatResult::Unsat;
+                }
+                let (learnt, backtrack) = self.analyze(confl, assumptions.len() as u32);
+                self.cancel_until(backtrack);
+                if learnt.len() == 1 {
+                    self.unchecked_enqueue(learnt[0], UNDEF_CLAUSE);
+                } else {
+                    let asserting = learnt[0];
+                    let idx = self.attach_clause(learnt);
+                    self.unchecked_enqueue(asserting, idx);
+                }
+                self.decay_activity();
+                if let Some(b) = self.budget {
+                    if self.stats.conflicts >= b {
+                        self.cancel_until(0);
+                        return SatResult::Unknown;
+                    }
+                }
+                if conflicts_this_epoch >= conflicts_until_restart {
+                    conflicts_this_epoch = 0;
+                    conflicts_until_restart = (conflicts_until_restart * 3) / 2;
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                }
+            } else {
+                // No conflict: pick the next assumption or decide.
+                if (self.decision_level() as usize) < assumptions.len() {
+                    let a = assumptions[self.decision_level() as usize];
+                    match self.lit_value(a) {
+                        Some(true) => {
+                            // Already satisfied: open an (empty) level so the
+                            // assumption indexing stays aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        Some(false) => {
+                            self.cancel_until(0);
+                            return SatResult::Unsat;
+                        }
+                        None => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, UNDEF_CLAUSE);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        // Full assignment: model found. Leave the trail in
+                        // place so `value` reads the model, but remember we
+                        // must cancel on the next call (done at entry).
+                        return SatResult::Sat;
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::new(v, self.polarity[v.index()]);
+                        self.unchecked_enqueue(lit, UNDEF_CLAUSE);
+                    }
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, reason: u32) {
+        let v = l.var();
+        debug_assert!(self.assigns[v.index()].is_none());
+        self.assigns[v.index()] = Some(l.is_positive());
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = reason;
+        self.trail.push(l);
+    }
+
+    /// Two-watched-literal unit propagation. Returns the conflicting clause
+    /// index, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p; // literals watching ¬p must be checked
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let cref = watch_list[i];
+                let clause = &mut self.clauses[cref as usize];
+                // Ensure the false literal is at position 1.
+                if clause.lits[0] == false_lit {
+                    clause.lits.swap(0, 1);
+                }
+                debug_assert_eq!(clause.lits[1], false_lit);
+                let first = clause.lits[0];
+                // If the other watch is true, clause is satisfied.
+                if self.assigns[first.var().index()]
+                    .map(|b| b == first.is_positive())
+                    == Some(true)
+                {
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut found = false;
+                for k in 2..clause.lits.len() {
+                    let l = clause.lits[k];
+                    let val = self.assigns[l.var().index()].map(|b| b == l.is_positive());
+                    if val != Some(false) {
+                        clause.lits.swap(1, k);
+                        self.watches[l.code()].push(cref);
+                        watch_list.swap_remove(i);
+                        found = true;
+                        break;
+                    }
+                }
+                if found {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                if self.assigns[first.var().index()].is_none() {
+                    self.unchecked_enqueue(first, cref);
+                    i += 1;
+                } else {
+                    // Conflict: restore the watch list and bail.
+                    self.watches[false_lit.code()] = watch_list;
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+            }
+            self.watches[false_lit.code()] = watch_list;
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level (never below the assumption
+    /// levels, `assumption_levels`).
+    fn analyze(&mut self, confl: u32, assumption_levels: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+        let current_level = self.decision_level();
+        loop {
+            let clause = &self.clauses[confl as usize];
+            let start = if p.is_some() { 1 } else { 0 };
+            let lits: Vec<Lit> = clause.lits[start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= current_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to expand from the trail.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found").var();
+            self.seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[pv.index()];
+            debug_assert_ne!(confl, UNDEF_CLAUSE, "UIP literal must have a reason");
+        }
+        let uip = !p.expect("uip literal");
+        // Clear `seen` for the learnt literals.
+        for l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        // Backjump level: highest level among the non-UIP literals. A unit
+        // learnt clause (UIP only) is implied by the formula alone, so it is
+        // asserted at level 0; the search loop re-places assumptions after.
+        let mut backtrack = 0;
+        if !learnt.is_empty() {
+            backtrack = assumption_levels.min(current_level.saturating_sub(1));
+            // Move the max-level literal to position 1 for watching.
+            let mut max_i = 0;
+            for (i, l) in learnt.iter().enumerate() {
+                if self.level[l.var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            backtrack = backtrack.max(self.level[learnt[max_i].var().index()]);
+            learnt.swap(0, max_i);
+        }
+        let mut result = Vec::with_capacity(learnt.len() + 1);
+        result.push(uip);
+        result.extend(learnt);
+        (result, backtrack)
+    }
+
+    fn cancel_until(&mut self, target_level: u32) {
+        if self.decision_level() <= target_level {
+            return;
+        }
+        let boundary = self.trail_lim[target_level as usize];
+        for i in (boundary..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.polarity[v.index()] = l.is_positive(); // phase saving
+            self.assigns[v.index()] = None;
+            self.reason[v.index()] = UNDEF_CLAUSE;
+            self.heap.push(v, &self.activity);
+        }
+        self.trail.truncate(boundary);
+        self.trail_lim.truncate(target_level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assigns[v.index()].is_none() {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.bump(v, &self.activity);
+    }
+
+    fn decay_activity(&mut self) {
+        self.var_inc /= 0.95;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[Lit::pos(v[0])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[Lit::pos(v[0])]);
+        assert!(!s.add_clause(&[Lit::neg(v[0])]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause(&[]));
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_ignored() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        assert!(s.add_clause(&[Lit::pos(v[0]), Lit::neg(v[0])]));
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, ... pairwise constraints; satisfiable.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 10);
+        for w in v.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            // a ⊕ b: (a ∨ b) ∧ (¬a ∨ ¬b)
+            s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+            s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        }
+        assert_eq!(s.solve(), SatResult::Sat);
+        for w in v.windows(2) {
+            assert_ne!(s.value(w[0]), s.value(w[1]));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_in_2_unsat() {
+        // 3 pigeons, 2 holes: var p_{i,h} = pigeon i in hole h.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 6);
+        let p = |i: usize, h: usize| v[i * 2 + h];
+        for i in 0..3 {
+            s.add_clause(&[Lit::pos(p(i, 0)), Lit::pos(p(i, 1))]);
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause(&[Lit::neg(p(i, h)), Lit::neg(p(j, h))]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_larger_unsat() {
+        // 6 pigeons, 5 holes — forces real conflict analysis and restarts.
+        let n = 6;
+        let h = 5;
+        let mut s = Solver::new();
+        let v = lits(&mut s, n * h);
+        let p = |i: usize, k: usize| v[i * h + k];
+        for i in 0..n {
+            let clause: Vec<Lit> = (0..h).map(|k| Lit::pos(p(i, k))).collect();
+            s.add_clause(&clause);
+        }
+        for k in 0..h {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause(&[Lit::neg(p(i, k)), Lit::neg(p(j, k))]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_flip_result() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        // a → b
+        s.add_clause(&[Lit::neg(v[0]), Lit::pos(v[1])]);
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::pos(v[0]), Lit::neg(v[1])]),
+            SatResult::Unsat
+        );
+        // Solver remains usable.
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::pos(v[0]), Lit::pos(v[1])]),
+            SatResult::Sat
+        );
+        assert_eq!(s.solve(), SatResult::Sat);
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert_eq!(s.solve(), SatResult::Sat);
+        s.add_clause(&[Lit::neg(v[0])]);
+        s.add_clause(&[Lit::neg(v[1])]);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn budget_returns_unknown() {
+        // A hard pigeonhole with a tiny budget must return Unknown.
+        let n = 8;
+        let h = 7;
+        let mut s = Solver::new();
+        let v = lits(&mut s, n * h);
+        let p = |i: usize, k: usize| v[i * h + k];
+        for i in 0..n {
+            let clause: Vec<Lit> = (0..h).map(|k| Lit::pos(p(i, k))).collect();
+            s.add_clause(&clause);
+        }
+        for k in 0..h {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause(&[Lit::neg(p(i, k)), Lit::neg(p(j, k))]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(5));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        // Raising the budget lets it finish.
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_formula_randomized() {
+        // Random 3-SAT at low clause density (very likely SAT); verify the
+        // model against the original formula.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..10 {
+            let mut s = Solver::new();
+            let n = 30;
+            let v = lits(&mut s, n);
+            let mut formula: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..60 {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let var = v[(next() % n as u64) as usize];
+                    clause.push(Lit::new(var, next() & 1 == 1));
+                }
+                formula.push(clause.clone());
+                s.add_clause(&clause);
+            }
+            if s.solve() == SatResult::Sat {
+                let model: Vec<bool> =
+                    v.iter().map(|&x| s.value(x).unwrap_or(false)).collect();
+                for clause in &formula {
+                    assert!(
+                        clause
+                            .iter()
+                            .any(|l| model[l.var().index()] == l.is_positive()),
+                        "round {round}: model violates clause"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_cnf_bulk() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause(vec![Lit::pos(a)]);
+        cnf.add_clause(vec![Lit::neg(a), Lit::pos(b)]);
+        let mut s = Solver::new();
+        assert!(s.add_cnf(&cnf));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn stats_collected() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::pos(v[2]), Lit::pos(v[3])]);
+        s.solve();
+        let st = s.stats();
+        assert!(st.decisions > 0 || st.propagations > 0);
+    }
+
+    #[test]
+    fn duplicate_literals_collapsed() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        assert!(s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[0])]));
+        assert_eq!(s.solve(), SatResult::Sat);
+        assert_eq!(s.value(v[0]), Some(true));
+    }
+}

@@ -1,0 +1,11 @@
+//! Support crate for the runnable SheLL examples.
+//!
+//! Run them with:
+//!
+//! ```text
+//! cargo run -p shell-examples --example quickstart
+//! cargo run -p shell-examples --example soc_redaction
+//! cargo run -p shell-examples --example ip_redaction
+//! cargo run -p shell-examples --example attack_evaluation
+//! cargo run -p shell-examples --example design_space
+//! ```

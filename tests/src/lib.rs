@@ -1,0 +1,5 @@
+//! Cross-crate integration tests for the SheLL workspace.
+//!
+//! The tests live in `tests/tests/` and span the whole stack: circuit
+//! generators → synthesis → place-and-route → fabric emulation → locking →
+//! attacks, plus property-based tests over the foundational data structures.

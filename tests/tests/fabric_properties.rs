@@ -1,0 +1,117 @@
+//! Property-based tests over the fabric model: bit-layout consistency for
+//! arbitrary architectures, and tamper sensitivity of programmed bitstreams.
+
+use proptest::prelude::*;
+use shell_fabric::{Bitstream, Fabric, FabricConfig};
+
+fn arb_config() -> impl Strategy<Value = FabricConfig> {
+    (2usize..=5, 1usize..=4, 4usize..=12, any::<bool>()).prop_map(
+        |(k, luts, width, chains)| {
+            let mut c = FabricConfig::fabulous_style(chains);
+            c.lut_k = k;
+            c.luts_per_clb = luts;
+            c.channel_width = width;
+            if chains {
+                c.chain_len = 3;
+            }
+            c
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The arithmetic offset accessors agree with the generated bit layout
+    /// for arbitrary architecture parameters.
+    #[test]
+    fn bit_offsets_match_layout(config in arb_config(), w in 1usize..4, h in 1usize..4) {
+        let fabric = Fabric::generate(config.clone(), w, h);
+        prop_assert_eq!(
+            fabric.bits_per_tile() * fabric.tile_count(),
+            fabric.config_bit_count()
+        );
+        // Sample a few offset accessors and check the descriptor kind.
+        let (base, width) = fabric.track_select_field(w - 1, h - 1, 0);
+        for b in 0..width {
+            match fabric.describe_bit(base + b) {
+                shell_fabric::BitInfo::TrackMuxSelect { .. } => {}
+                other => prop_assert!(false, "wrong descriptor {other:?}"),
+            }
+        }
+        let mask_base = fabric.lut_mask_base(0, 0, config.luts_per_clb - 1);
+        match fabric.describe_bit(mask_base) {
+            shell_fabric::BitInfo::LutMask { row: 0, .. } => {}
+            other => prop_assert!(false, "wrong mask descriptor {other:?}"),
+        }
+        if config.mux_chains {
+            let (val, mode) = fabric.chain_select_bits(0, 0, config.chain_len - 1, 1);
+            prop_assert_eq!(mode, val + 1);
+        }
+    }
+
+    /// Bitstream fields roundtrip at arbitrary offsets.
+    #[test]
+    fn bitstream_fields_roundtrip(len in 8usize..512, base in 0usize..480, width in 1usize..8, value: u64) {
+        prop_assume!(base + width <= len);
+        let mut bs = Bitstream::zeros(len);
+        let masked = value & ((1u64 << width) - 1);
+        bs.set_field(base, width, masked);
+        prop_assert_eq!(bs.field(base, width), masked);
+        prop_assert_eq!(bs.used_count(), width);
+    }
+
+    /// IO attachment indices are dense, in-range and unique per (node, side).
+    #[test]
+    fn io_attachments_unique(w in 1usize..5, h in 1usize..5) {
+        let fabric = Fabric::generate(FabricConfig::fabulous_style(false), w, h);
+        let mut seen = std::collections::HashSet::new();
+        for pad in 0..fabric.io_input_count() {
+            let (sig, pos) = fabric.io_input_attachment(pad);
+            prop_assert!(pos < 4);
+            prop_assert!(seen.insert((format!("{sig}"), pos)), "duplicate attachment");
+        }
+    }
+}
+
+/// Tampering with any *used* bit of a programmed crossbar either changes
+/// the function or makes the configuration unusable — no used bit is dead.
+#[test]
+fn used_bits_are_load_bearing_mostly() {
+    use shell_circuits::mux_tree_circuit;
+    use shell_fabric::to_configured_netlist;
+    use shell_netlist::equiv::equiv_exhaustive;
+    use shell_pnr::{place_and_route_with_chains, PnrOptions};
+
+    let design = mux_tree_circuit(4, 1);
+    let result = place_and_route_with_chains(
+        &design,
+        FabricConfig::fabulous_style(true),
+        &PnrOptions::default(),
+    )
+    .expect("fits");
+    let used: Vec<usize> = (0..result.bitstream.len())
+        .filter(|&i| result.bitstream.is_used(i))
+        .collect();
+    let mut dead = 0usize;
+    let sample: Vec<usize> = used.iter().step_by(7).copied().collect();
+    for &bit in &sample {
+        let mut tampered = result.bitstream.clone();
+        tampered.set(bit, !tampered.bit(bit));
+        match to_configured_netlist(&result.fabric, &tampered, &result.io_map) {
+            Err(_) => {} // configured loop or similar: visibly broken
+            Ok(netlist) => {
+                if equiv_exhaustive(&design, &netlist, &[], &[]).is_equivalent() {
+                    dead += 1;
+                }
+            }
+        }
+    }
+    // Some don't-care positions exist (e.g. mask rows of unreachable input
+    // combinations), but the majority of used bits must matter.
+    assert!(
+        dead * 2 < sample.len().max(1),
+        "{dead}/{} sampled used bits were dead",
+        sample.len()
+    );
+}

