@@ -1,63 +1,58 @@
-//! Criterion micro-benchmarks of the hot kernels behind the paper tables.
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Micro-benchmarks of the hot kernels behind the paper tables, on the
+//! in-tree `shell_util::Bench` monotonic-clock runner (warmup + N timed
+//! iterations, median/p95 report). Results also land in
+//! `results/kernels.json` for run-to-run diffing.
+//!
+//! Run with `cargo bench --offline` (the harness is `harness = false`).
+
+use shell_bench::write_results_json;
 use shell_circuits::{axi_xbar, generate, Benchmark, Scale};
 use shell_fabric::FabricConfig;
 use shell_lock::{score_cells, Coefficients};
 use shell_pnr::{place_and_route_with_chains, PnrOptions};
 use shell_sat::{encode_netlist, Solver};
 use shell_synth::{lut_map, mux_chain_map};
+use shell_util::Bench;
 
-fn bench_centrality(c: &mut Criterion) {
-    let n = generate(Benchmark::PicoSoc, Scale::small());
-    c.bench_function("score_cells/picosoc", |b| {
-        b.iter(|| score_cells(&n, &Coefficients::c5_shell()))
+fn main() {
+    let mut bench = Bench::new(3, 20);
+
+    let picosoc = generate(Benchmark::PicoSoc, Scale::small());
+    bench.run("score_cells/picosoc", || {
+        score_cells(&picosoc, &Coefficients::c5_shell())
     });
-}
 
-fn bench_lut_map(c: &mut Criterion) {
-    let n = generate(Benchmark::Fir, Scale::small());
-    c.bench_function("lut_map/fir_k4", |b| b.iter(|| lut_map(&n, 4)));
-}
+    let fir = generate(Benchmark::Fir, Scale::small());
+    bench.run("lut_map/fir_k4", || lut_map(&fir, 4));
 
-fn bench_mux_chain(c: &mut Criterion) {
-    let n = axi_xbar(8, 4);
-    c.bench_function("mux_chain_map/xbar8x4", |b| b.iter(|| mux_chain_map(&n)));
-}
+    let xbar8 = axi_xbar(8, 4);
+    bench.run("mux_chain_map/xbar8x4", || mux_chain_map(&xbar8));
 
-fn bench_pnr(c: &mut Criterion) {
-    let n = axi_xbar(4, 2);
-    let mut group = c.benchmark_group("pnr");
-    group.sample_size(10);
-    group.bench_function("chain_flow/xbar4x2", |b| {
-        b.iter(|| {
-            place_and_route_with_chains(
-                &n,
-                FabricConfig::fabulous_style(true),
-                &PnrOptions::default(),
-            )
-            .expect("maps")
-        })
+    let aes = generate(Benchmark::Aes, Scale::small());
+    let frame = shell_attacks::scan_frame(&aes);
+    bench.run("tseitin/aes_frame", || {
+        let mut solver = Solver::new();
+        encode_netlist(&mut solver, &frame, None, None)
     });
-    group.finish();
-}
 
-fn bench_tseitin(c: &mut Criterion) {
-    let n = generate(Benchmark::Aes, Scale::small());
-    let frame = shell_attacks::scan_frame(&n);
-    c.bench_function("tseitin/aes_frame", |b| {
-        b.iter(|| {
-            let mut solver = Solver::new();
-            encode_netlist(&mut solver, &frame, None, None)
-        })
+    // PnR dominates wall clock; keep the sample small like criterion's
+    // `sample_size(10)` group did.
+    let mut pnr_bench = Bench::new(1, 10);
+    let xbar4 = axi_xbar(4, 2);
+    pnr_bench.run("pnr/chain_flow/xbar4x2", || {
+        place_and_route_with_chains(
+            &xbar4,
+            FabricConfig::fabulous_style(true),
+            &PnrOptions::default(),
+        )
+        .expect("maps")
     });
-}
 
-criterion_group!(
-    benches,
-    bench_centrality,
-    bench_lut_map,
-    bench_mux_chain,
-    bench_pnr,
-    bench_tseitin
-);
-criterion_main!(benches);
+    let mut reports: Vec<_> = bench.reports().to_vec();
+    reports.extend(pnr_bench.reports().iter().cloned());
+    let json = shell_util::Json::arr(reports.iter().map(|r| r.to_json()));
+    match write_results_json("kernels", &json) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write results json: {e}"),
+    }
+}

@@ -57,6 +57,10 @@ fn main() {
         }
     }
     t.print("Ablation — Shrinking Reconfigurability (Fig. 4 step 8) on/off");
+    match shell_bench::write_results_json("ablation_shrink", &t.to_json()) {
+        Ok(path) => println!("json: {path}"),
+        Err(e) => eprintln!("could not write results json: {e}"),
+    }
     println!("expected: shrinking removes the routing-mesh cycles entirely and cuts");
     println!("both the key length and the implementation cost by a large factor.");
 }

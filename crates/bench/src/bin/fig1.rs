@@ -90,6 +90,10 @@ fn main() {
     }
 
     t.print("Fig. 1 — Robustness Ladder of Reconfigurability-Based Locking");
+    match shell_bench::write_results_json("fig1", &t.to_json()) {
+        Ok(path) => println!("json: {path}"),
+        Err(e) => eprintln!("could not write results json: {e}"),
+    }
     println!("expected: robustness grows (a) -> (e); (c) leaks structure to the");
     println!("link-prediction guesser (accuracy >> 0.5), which is the paper's argument");
     println!("for fabric-grade (symmetric, distributed) reconfigurability.");

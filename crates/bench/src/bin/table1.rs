@@ -75,6 +75,10 @@ fn main() {
         ]);
     }
     t.print("Table I — Resource Utilization for a ROUTE circuit (8-channel AXI Xbar)");
+    match shell_bench::write_results_json("table1", &t.to_json()) {
+        Ok(path) => println!("json: {path}"),
+        Err(e) => eprintln!("could not write results json: {e}"),
+    }
 
     let open_r = used_resources(&open);
     let std_r = used_resources(&fab_std);

@@ -66,6 +66,10 @@ fn main() {
         }
     }
     t.print("Table IV — Comparative (Normalized) Overhead in eFPGA-based IP Redaction");
+    match shell_bench::write_results_json("table4", &t.to_json()) {
+        Ok(path) => println!("json: {path}"),
+        Err(e) => eprintln!("could not write results json: {e}"),
+    }
     if shell_n > 0 && base_n > 0 {
         let avg = |s: [f64; 3], n: usize| [s[0] / n as f64, s[1] / n as f64, s[2] / n as f64];
         let b = avg(base_sum, base_n);

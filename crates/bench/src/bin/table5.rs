@@ -34,6 +34,10 @@ fn main() {
         t.row(row);
     }
     t.print("Table V — Same-Target (ROUTE-based) Overhead, Cases 1-4");
+    match shell_bench::write_results_json("table5", &t.to_json()) {
+        Ok(path) => println!("json: {path}"),
+        Err(e) => eprintln!("could not write results json: {e}"),
+    }
     println!("note: Cases 1 and 2 coincide by construction (same tool, same target),");
     println!("matching the paper's footnote that they are equal under an identical TfR.");
 }

@@ -65,6 +65,10 @@ fn main() {
         t.row(row);
     }
     t.print("Table VI — Eq. 1 Coefficient Sweep {α,β,γ,λ,ξ,σ} (c5 = SheLL objectives)");
+    match shell_bench::write_results_json("table6", &t.to_json()) {
+        Ok(path) => println!("json: {path}"),
+        Err(e) => eprintln!("could not write results json: {e}"),
+    }
     println!(
         "c5 within 0.05 of the best area column on {c5_wins}/{rows} benchmarks \
          (paper: c5 is the chosen operating point)"

@@ -55,4 +55,8 @@ fn main() {
         t.row(row);
     }
     t.print("Table VII — LGC/ROUTE Correlation Depth vs Overhead (SheLL = depth 0)");
+    match shell_bench::write_results_json("table7", &t.to_json()) {
+        Ok(path) => println!("json: {path}"),
+        Err(e) => eprintln!("could not write results json: {e}"),
+    }
 }

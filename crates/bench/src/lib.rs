@@ -10,6 +10,7 @@ use shell_attacks::{cyclic_reduction, sat_attack, scan_frame, SatAttackOptions, 
 use shell_circuits::Scale;
 use shell_lock::RedactionOutcome;
 use shell_netlist::Netlist;
+use shell_util::Json;
 
 /// Scale used by every table harness (keep modest: each table runs many
 /// full PnR flows and SAT attacks).
@@ -141,6 +142,37 @@ impl Table {
         println!("\n== {title} ==\n");
         println!("{}", self.render());
     }
+
+    /// The table as JSON: one object per row, keyed by header.
+    pub fn to_json(&self) -> Json {
+        Json::arr(self.rows.iter().map(|row| {
+            Json::obj(
+                self.header
+                    .iter()
+                    .zip(row)
+                    .map(|(k, v)| (k.as_str(), Json::from(v.as_str()))),
+            )
+        }))
+    }
+}
+
+/// Writes a JSON artifact to `results/<name>.json` at the workspace root
+/// (resolved relative to this crate, so it works from any CWD — cargo runs
+/// benches and binaries with different working directories).
+///
+/// Returns the path written.
+///
+/// # Errors
+///
+/// Returns the IO error text on failure.
+pub fn write_results_json(name: &str, json: &Json) -> Result<String, String> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&root).map_err(|e| e.to_string())?;
+    let path = root.join(format!("{name}.json"));
+    std::fs::write(&path, json.to_string_pretty()).map_err(|e| e.to_string())?;
+    Ok(path.display().to_string())
 }
 
 /// Formats an f64 to two decimals (the paper's table precision).

@@ -4,9 +4,8 @@
 //! with it (`<block>.<cell>`), so the SheLL selection pipeline can identify
 //! sub-circuits by name exactly like the paper's TfR column does.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use shell_netlist::{CellKind, NetId, Netlist};
+use shell_util::Rng;
 
 /// Bit width helper: number of select bits for `n` choices.
 pub fn select_bits(n: usize) -> usize {
@@ -42,7 +41,7 @@ pub fn xor_bank(n: &mut Netlist, block: &str, a: &[NetId], b: &[NetId]) -> Vec<N
 /// of its input nibble (XOR/AND/OR network seeded deterministically) —
 /// the S-box stand-in.
 pub fn sbox_layer(n: &mut Netlist, block: &str, data: &[NetId], seed: u64) -> Vec<NetId> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(data.len());
     for (ni, nib) in data.chunks(4).enumerate() {
         // Build 4 mixed outputs per nibble (or fewer for a tail chunk).

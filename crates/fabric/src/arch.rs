@@ -1,6 +1,5 @@
 //! Architecture description of the modeled eFPGA fabrics.
 
-use serde::{Deserialize, Serialize};
 
 /// Which storage element holds configuration bits.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// FABulous custom-cell flow of \[21\] replaces most of them with latches
 /// (smaller, no clock tree load) keeping only a few control flip-flops
 /// ("CFFs" in Table I).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConfigStorage {
     /// One configuration D flip-flop per bit (OpenFPGA default).
     Dff,
@@ -18,7 +17,7 @@ pub enum ConfigStorage {
 
 /// Overall fabric style, selecting switch-mux decomposition and sizing
 /// conventions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FabricStyle {
     /// Square, homogeneous grid; switch muxes built from MUX2 trees;
     /// no dedicated chain resources; fabric dimensions rounded up to a
@@ -43,7 +42,7 @@ pub enum FabricStyle {
 /// assert!(!fab.square_fabric);
 /// assert!(fab.mux_chains);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FabricConfig {
     /// LUT arity (k). 4 for both presets, like the papers' fabrics.
     pub lut_k: usize,

@@ -1,6 +1,5 @@
 //! The configuration bitstream — the secret of eFPGA-based redaction.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A fabric configuration: one bit per position of the fabric's bit layout,
@@ -16,7 +15,7 @@ use std::fmt;
 /// assert_eq!(bs.used_count(), 3);     // only programmed bits are secret
 /// assert!(bs.utilization() < 0.25);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Bitstream {
     bits: Vec<bool>,
     used: Vec<bool>,

@@ -28,11 +28,10 @@
 //! blocks, which SheLL's shrinking step later removes.
 
 use crate::arch::FabricConfig;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A signal source inside the fabric.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SignalRef {
     /// Local track `t` of tile `(x, y)`.
     Track {
@@ -77,7 +76,7 @@ impl fmt::Display for SignalRef {
 }
 
 /// What a configuration bit controls (for reports and debugging).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BitInfo {
     /// Select bit `bit` of the switch mux driving a track.
     TrackMuxSelect {
@@ -170,7 +169,7 @@ pub enum BitInfo {
 
 /// A generated fabric instance: an architecture plus concrete dimensions and
 /// a fixed configuration-bit layout.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fabric {
     config: FabricConfig,
     width: usize,

@@ -29,6 +29,7 @@
 
 pub mod arch;
 pub mod bitstream;
+pub mod export;
 pub mod fabric;
 pub mod netlist_gen;
 pub mod resources;

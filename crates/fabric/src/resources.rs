@@ -34,11 +34,10 @@ pub struct FabricUsage {
     /// Tiles touched.
     pub tiles_used: usize,
 }
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Hardware resource totals for a fabric (or fabric region).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResourceReport {
     /// 4:1 mux cells.
     pub mux4: usize,

@@ -11,11 +11,10 @@
 //! energy in fJ per toggle (converted to µW at the default activity and
 //! clock).
 
-use serde::{Deserialize, Serialize};
 use shell_netlist::{CellKind, Netlist};
 
 /// Per-kind cost entry.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellCost {
     /// Area in µm².
     pub area: f64,
@@ -28,7 +27,7 @@ pub struct CellCost {
 }
 
 /// Area/power/delay evaluation of a netlist.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ApdReport {
     /// Total cell area, µm².
     pub area: f64,
@@ -51,7 +50,7 @@ impl ApdReport {
 }
 
 /// The technology library: per-kind costs plus global assumptions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TechLibrary {
     /// Switching activity factor used for dynamic power (fraction of cells
     /// toggling per cycle).

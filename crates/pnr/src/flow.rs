@@ -519,7 +519,13 @@ fn try_once(
         }
     }
     // Chain element pins: data pins (except hard-wired) and dynamic selects.
-    for (&cell, site) in &element_sites {
+    // Iterate in cell order: the per-net sink lists feed the router, whose
+    // results depend on sink order — hash order here would make bitstreams
+    // nondeterministic for a fixed seed.
+    let mut ordered_elements: Vec<(CellId, &ElementSite)> =
+        element_sites.iter().map(|(&c, s)| (c, s)).collect();
+    ordered_elements.sort_unstable_by_key(|&(c, _)| c);
+    for &(cell, site) in &ordered_elements {
         let c = mapped.cell(cell);
         let data_nets: Vec<Option<NetId>> = match c.kind {
             // Mux4 netlist order [s1, s0, d0..d3] → element data pins 0..3.
@@ -558,10 +564,14 @@ fn try_once(
         });
     }
 
-    // Assemble requests (nets with sinks and a source).
+    // Assemble requests (nets with sinks and a source), in net order: the
+    // router's initial pass routes against growing occupancy, so request
+    // order steers every downstream decision and must not be hash order.
     let mut requests = Vec::new();
     let mut net_ids: Vec<NetId> = Vec::new();
-    for (net, sinks) in &sinks_of {
+    let mut ordered_nets: Vec<(&NetId, &Vec<SinkKind>)> = sinks_of.iter().collect();
+    ordered_nets.sort_unstable_by_key(|&(net, _)| *net);
+    for (net, sinks) in ordered_nets {
         if sinks.is_empty() {
             continue;
         }

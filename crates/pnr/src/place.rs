@@ -5,10 +5,9 @@
 //! with simulated annealing on half-perimeter wirelength; IO assignment
 //! binds primary inputs/outputs to boundary pads near their logic.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use shell_fabric::Fabric;
 use shell_netlist::{CellId, CellKind, LutMask, NetId, Netlist};
+use shell_util::Rng;
 use std::collections::HashMap;
 
 /// What a CLB slot implements.
@@ -241,7 +240,7 @@ pub fn place_with_hints(
     if netlist.outputs().len() > fabric.io_output_count() {
         return Err("not enough output pads".into());
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     // Site list: (x, y, s).
     let site_of = |i: usize| -> (usize, usize, usize) {
@@ -367,7 +366,7 @@ pub fn place_with_hints(
         rebuild_positions(&slot_at, &mut positions);
         let new_cost = hpwl(&positions);
         let delta = new_cost - cost;
-        let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
+        let accept = delta <= 0.0 || rng.gen_f64() < (-delta / temperature).exp();
         if accept {
             cost = new_cost;
         } else {
@@ -460,7 +459,7 @@ fn best_pad(
     used_nodes: &std::collections::HashSet<(usize, usize, usize)>,
     pad_averse_tiles: &std::collections::HashSet<(usize, usize)>,
     own_tiles: &[(usize, usize)],
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Option<usize> {
     // Cap pads per boundary tile at half the channel width so pass-through
     // routing always finds free tracks next to the pads.
@@ -480,7 +479,7 @@ fn best_pad(
         // Seed-dependent jitter so retry attempts explore different pad
         // assignments (a deterministic greedy can wall a pad in between two
         // pinned neighbors forever).
-        d += rng.gen::<f64>() * 0.9;
+        d += rng.gen_f64() * 0.9;
         // A pad on a chain tile burns one of that block's scarce tracks:
         // strongly discourage it for nets that do not sink there.
         if pad_averse_tiles.contains(&(x, y)) && !own_tiles.contains(&(x, y)) {

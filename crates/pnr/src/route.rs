@@ -294,7 +294,13 @@ impl<'f> Router<'f> {
             let mut sel: Vec<usize> = vec![usize::MAX; dist.len()];
             let mut queue: VecDeque<usize> = VecDeque::new();
             // Seed: existing tree nodes (free) + source attachments.
-            for (&(x, y, t), &s) in &tree.nodes {
+            // Seed in sorted node order: relaxation order breaks cost ties,
+            // and hash-order seeding would make the routing tree (and thus
+            // the bitstream) differ run-to-run for the same seed.
+            let mut tree_seeds: Vec<((usize, usize, usize), usize)> =
+                tree.nodes.iter().map(|(&n, &s)| (n, s)).collect();
+            tree_seeds.sort_unstable();
+            for ((x, y, t), s) in tree_seeds {
                 let i = self.node_index(x, y, t);
                 dist[i] = 0.0;
                 from[i] = -1;

@@ -1,0 +1,28 @@
+//! `shell-util` — the dependency-free substrate under the SheLL workspace.
+//!
+//! The build environment is hermetic (no crates.io access), and the paper's
+//! evaluation only reproduces if every run is deterministic and
+//! self-contained. This crate supplies the four pieces the workspace used
+//! external crates for, with exactly the API surface the repo needs:
+//!
+//! | module    | replaces    | provides                                          |
+//! |-----------|-------------|---------------------------------------------------|
+//! | [`rng`]   | `rand`      | SplitMix64-seeded xoshiro256** ([`Rng`])          |
+//! | [`prop`]  | `proptest`  | [`forall`] seeded property harness with shrinking |
+//! | [`json`]  | `serde`     | [`Json`] value, writer and parser                 |
+//! | [`bench`] | `criterion` | [`Bench`] warmup+iters timer, median/p95 report   |
+//!
+//! Everything is pure `std`; there is no global state, no OS entropy, and
+//! no wall-clock input anywhere except the bench timer's `Instant` reads.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{Bench, BenchReport};
+pub use json::Json;
+pub use prop::{forall, Shrink};
+pub use rng::{split_mix64, Rng};

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Hermetic-build verification: the workspace must build and test with zero
+# network access. Run from anywhere; exits non-zero on any regression.
+#
+# Two layers of enforcement:
+#   1. `--offline` makes cargo refuse to touch the network at all.
+#   2. A manifest scan fails the run if any crates.io dependency sneaks
+#      back into a Cargo.toml (the failure mode this script exists to
+#      prevent: it broke every seed test before shell-util existed).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== manifest scan: no external (crates.io) dependencies allowed =="
+# Dependency lines are either `shell-*` path crates or workspace plumbing.
+# Anything else under a [dependencies]-ish section is a regression.
+bad=$(awk '
+    /^\[(dev-|build-)?dependencies/ { in_deps = 1; next }
+    /^\[workspace.dependencies\]/   { in_deps = 1; next }
+    /^\[/                           { in_deps = 0 }
+    in_deps && NF && !/^#/ && !/^shell-/ { print FILENAME ": " $0 }
+' Cargo.toml crates/*/Cargo.toml tests/Cargo.toml examples/Cargo.toml || true)
+if [ -n "$bad" ]; then
+    echo "external dependency detected:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "ok"
+
+echo "== lockfile scan: every package must be path-local =="
+if grep -q 'source = ' Cargo.lock; then
+    echo "Cargo.lock contains registry-sourced packages:" >&2
+    grep -B2 'source = ' Cargo.lock >&2
+    exit 1
+fi
+echo "ok"
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "== cargo build --offline --benches --examples --bins =="
+cargo build -q --offline --benches --examples --bins
+
+echo "verify: all green (hermetic)"

@@ -1,134 +1,254 @@
-//! Property-based tests over the foundational data structures and passes.
+//! Property-based tests over the foundational data structures and passes,
+//! on the in-tree `shell_util::forall` harness: every case replays from the
+//! root seed printed on failure, and counterexamples shrink by halving.
 
-use proptest::prelude::*;
 use shell_netlist::builder::{from_bits, to_bits};
-use shell_netlist::{CellKind, LutMask, NetId, Netlist, NetlistBuilder};
+use shell_netlist::{CellKind, NetId, Netlist};
 use shell_sat::{Cnf, Lit, SatResult, Solver, Var};
 use shell_synth::{clean_netlist, decompose_to_two_input, lut_map};
+use shell_util::{forall, Rng};
 
-/// Strategy: a random combinational netlist of 2-input gates over `n_in`
-/// inputs, described by a gate list (kind index, input a, input b) where
-/// inputs reference earlier signals.
-fn arb_netlist(n_in: usize, n_gates: usize) -> impl Strategy<Value = Netlist> {
-    let gate = (0u8..6, any::<u16>(), any::<u16>());
-    proptest::collection::vec(gate, 1..=n_gates).prop_map(move |gates| {
-        let mut n = Netlist::new("prop");
-        let mut signals: Vec<NetId> =
-            (0..n_in).map(|i| n.add_input(format!("i{i}"))).collect();
-        for (gi, (kind, a, b)) in gates.into_iter().enumerate() {
-            let kind = match kind {
-                0 => CellKind::And,
-                1 => CellKind::Or,
-                2 => CellKind::Xor,
-                3 => CellKind::Nand,
-                4 => CellKind::Nor,
-                _ => CellKind::Xnor,
-            };
-            let x = signals[a as usize % signals.len()];
-            let y = signals[b as usize % signals.len()];
-            let out = n.add_cell(format!("g{gi}"), kind, vec![x, y]);
-            signals.push(out);
-        }
-        // Export the last few signals.
-        let outs: Vec<NetId> = signals.iter().rev().take(3).copied().collect();
-        for (i, o) in outs.into_iter().enumerate() {
-            n.add_output(format!("o{i}"), o);
-        }
-        n
-    })
+/// Raw description of a random combinational netlist: a gate list
+/// `(kind index, input a, input b)` where inputs reference earlier signals.
+/// Kept as plain data so the harness can shrink it (drop gates, zero
+/// indices) — the netlist itself is rebuilt inside the property.
+type GateList = Vec<(u8, u16, u16)>;
+
+fn gen_gates(rng: &mut Rng, max_gates: usize) -> GateList {
+    let count = rng.gen_range(1..max_gates + 1);
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range(0..6) as u8,
+                rng.next_u64() as u16,
+                rng.next_u64() as u16,
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// clean_netlist preserves functionality on arbitrary gate networks.
-    #[test]
-    fn clean_preserves_function(n in arb_netlist(5, 24), bits in 0u64..32) {
-        let cleaned = clean_netlist(&n);
-        let pattern = to_bits(bits, 5);
-        prop_assert_eq!(n.eval_comb(&pattern), cleaned.eval_comb(&pattern));
+/// Builds the netlist a gate list describes. Total function of its inputs
+/// (indices wrap), so every shrunk candidate is still a valid netlist.
+fn build_netlist(n_in: usize, gates: &[(u8, u16, u16)]) -> Netlist {
+    let mut n = Netlist::new("prop");
+    let mut signals: Vec<NetId> = (0..n_in).map(|i| n.add_input(format!("i{i}"))).collect();
+    for (gi, &(kind, a, b)) in gates.iter().enumerate() {
+        let kind = match kind % 6 {
+            0 => CellKind::And,
+            1 => CellKind::Or,
+            2 => CellKind::Xor,
+            3 => CellKind::Nand,
+            4 => CellKind::Nor,
+            _ => CellKind::Xnor,
+        };
+        let x = signals[a as usize % signals.len()];
+        let y = signals[b as usize % signals.len()];
+        let out = n.add_cell(format!("g{gi}"), kind, vec![x, y]);
+        signals.push(out);
     }
-
-    /// Decomposition to two-input gates preserves functionality.
-    #[test]
-    fn decompose_preserves_function(n in arb_netlist(5, 16), bits in 0u64..32) {
-        let d = decompose_to_two_input(&n);
-        let pattern = to_bits(bits, 5);
-        prop_assert_eq!(n.eval_comb(&pattern), d.eval_comb(&pattern));
+    // Export the last few signals.
+    let outs: Vec<NetId> = signals.iter().rev().take(3).copied().collect();
+    for (i, o) in outs.into_iter().enumerate() {
+        n.add_output(format!("o{i}"), o);
     }
+    n
+}
 
-    /// LUT mapping preserves functionality for every k.
-    #[test]
-    fn lut_map_preserves_function(n in arb_netlist(4, 12), k in 2usize..=6, bits in 0u64..16) {
-        let m = lut_map(&n, k);
-        let pattern = to_bits(bits, 4);
-        prop_assert_eq!(n.eval_comb(&pattern), m.netlist.eval_comb(&pattern));
+fn expect_eq<T: PartialEq + std::fmt::Debug>(a: T, b: T, what: &str) -> Result<(), String> {
+    if a == b {
+        Ok(())
+    } else {
+        Err(format!("{what}: {a:?} != {b:?}"))
     }
+}
 
-    /// LUT masks: evaluation agrees with the mask bit addressed by the
-    /// input pattern, and cofactoring via `ignores_input` is sound.
-    #[test]
-    fn lut_mask_semantics(mask in any::<u64>(), k in 1usize..=6, idx in any::<u8>()) {
-        let lut = LutMask::new(mask, k);
-        let idx = (idx as usize) % (1 << k);
-        let inputs: Vec<bool> = (0..k).map(|i| (idx >> i) & 1 == 1).collect();
-        prop_assert_eq!(lut.eval(&inputs), (lut.mask() >> idx) & 1 == 1);
+/// clean_netlist preserves functionality on arbitrary gate networks.
+#[test]
+fn clean_preserves_function() {
+    forall(
+        "clean preserves function",
+        0x5EED_0001,
+        48,
+        |rng| (gen_gates(rng, 24), rng.bounded(32)),
+        |(gates, bits)| {
+            let n = build_netlist(5, gates);
+            let cleaned = clean_netlist(&n);
+            let pattern = to_bits(*bits, 5);
+            expect_eq(n.eval_comb(&pattern), cleaned.eval_comb(&pattern), "clean")
+        },
+    );
+}
+
+/// Decomposition to two-input gates preserves functionality.
+#[test]
+fn decompose_preserves_function() {
+    forall(
+        "decompose preserves function",
+        0x5EED_0002,
+        48,
+        |rng| (gen_gates(rng, 16), rng.bounded(32)),
+        |(gates, bits)| {
+            let n = build_netlist(5, gates);
+            let d = decompose_to_two_input(&n);
+            let pattern = to_bits(*bits, 5);
+            expect_eq(n.eval_comb(&pattern), d.eval_comb(&pattern), "decompose")
+        },
+    );
+}
+
+/// LUT mapping preserves functionality for every k in 2..=6.
+#[test]
+fn lut_map_preserves_function() {
+    forall(
+        "lut_map preserves function",
+        0x5EED_0003,
+        48,
+        |rng| (gen_gates(rng, 12), rng.bounded(5), rng.bounded(16)),
+        |(gates, k_raw, bits)| {
+            let k = 2 + (*k_raw as usize); // 2..=6, stays valid under shrink
+            let n = build_netlist(4, gates);
+            let m = lut_map(&n, k);
+            let pattern = to_bits(*bits, 4);
+            expect_eq(
+                n.eval_comb(&pattern),
+                m.netlist.eval_comb(&pattern),
+                "lut_map",
+            )
+        },
+    );
+}
+
+/// LUT masks: evaluation agrees with the mask bit addressed by the input
+/// pattern.
+#[test]
+fn lut_mask_semantics() {
+    use shell_netlist::LutMask;
+    forall(
+        "lut mask semantics",
+        0x5EED_0004,
+        64,
+        |rng| (rng.next_u64(), rng.bounded(6), rng.next_u64() as u8),
+        |&(mask, k_raw, idx)| {
+            let k = 1 + (k_raw as usize); // 1..=6
+            let lut = LutMask::new(mask, k);
+            let idx = (idx as usize) % (1 << k);
+            let inputs: Vec<bool> = (0..k).map(|i| (idx >> i) & 1 == 1).collect();
+            expect_eq(lut.eval(&inputs), (lut.mask() >> idx) & 1 == 1, "lut eval")
+        },
+    );
+}
+
+/// Bit-vector helpers roundtrip.
+#[test]
+fn bits_roundtrip() {
+    forall(
+        "bits roundtrip",
+        0x5EED_0005,
+        128,
+        |rng| rng.next_u64() as u32,
+        |&v| expect_eq(from_bits(&to_bits(v as u64, 32)), v as u64, "roundtrip"),
+    );
+}
+
+/// Raw clause soup: `(variable, sign)` literals over `vars` variables.
+/// Indices wrap in the property, so shrinking stays in-domain.
+type ClauseList = Vec<Vec<(u32, bool)>>;
+
+fn gen_clauses(rng: &mut Rng, vars: u32, max_clauses: usize, max_lits: usize) -> ClauseList {
+    let count = rng.gen_range(1..max_clauses + 1);
+    (0..count)
+        .map(|_| {
+            let lits = rng.gen_range(1..max_lits + 1);
+            (0..lits)
+                .map(|_| (rng.bounded(vars as u64) as u32, rng.gen_bool(0.5)))
+                .collect()
+        })
+        .collect()
+}
+
+fn build_cnf(vars: u32, clauses: &ClauseList) -> Cnf {
+    let mut cnf = Cnf::new();
+    for _ in 0..vars {
+        cnf.new_var();
     }
-
-    /// Bit-vector helpers roundtrip.
-    #[test]
-    fn bits_roundtrip(v in any::<u32>()) {
-        prop_assert_eq!(from_bits(&to_bits(v as u64, 32)), v as u64);
-    }
-
-    /// DIMACS roundtrips arbitrary CNF formulas.
-    #[test]
-    fn dimacs_roundtrip(clauses in proptest::collection::vec(
-        proptest::collection::vec((0u32..12, any::<bool>()), 1..5), 1..20)) {
-        let mut cnf = Cnf::new();
-        for _ in 0..12 { cnf.new_var(); }
-        for clause in &clauses {
-            let lits: Vec<Lit> = clause.iter().map(|&(v, s)| Lit::new(Var(v), s)).collect();
-            cnf.add_clause(lits);
+    for clause in clauses {
+        if clause.is_empty() {
+            continue; // shrinking may empty a clause; an empty clause is just UNSAT noise
         }
-        let parsed = Cnf::from_dimacs(&cnf.to_dimacs()).unwrap();
-        prop_assert_eq!(parsed, cnf);
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&(v, s)| Lit::new(Var(v % vars), s))
+            .collect();
+        cnf.add_clause(lits);
     }
+    cnf
+}
 
-    /// The CDCL solver's SAT answers carry verifiable models.
-    #[test]
-    fn solver_models_verify(clauses in proptest::collection::vec(
-        proptest::collection::vec((0u32..10, any::<bool>()), 1..4), 1..30)) {
-        let mut cnf = Cnf::new();
-        for _ in 0..10 { cnf.new_var(); }
-        for clause in &clauses {
-            let lits: Vec<Lit> = clause.iter().map(|&(v, s)| Lit::new(Var(v), s)).collect();
-            cnf.add_clause(lits);
-        }
-        let mut solver = Solver::new();
-        solver.add_cnf(&cnf);
-        if solver.solve() == SatResult::Sat {
-            let model: Vec<bool> = (0..10)
-                .map(|v| solver.value(Var(v)).unwrap_or(false))
-                .collect();
-            prop_assert!(cnf.eval(&model), "model must satisfy the formula");
-        }
-    }
+/// DIMACS roundtrips arbitrary CNF formulas.
+#[test]
+fn dimacs_roundtrip() {
+    forall(
+        "dimacs roundtrip",
+        0x5EED_0006,
+        48,
+        |rng| gen_clauses(rng, 12, 19, 4),
+        |clauses| {
+            let cnf = build_cnf(12, clauses);
+            let parsed = Cnf::from_dimacs(&cnf.to_dimacs()).map_err(|e| e.to_string())?;
+            expect_eq(parsed, cnf, "dimacs")
+        },
+    );
+}
 
-    /// Verilog write/parse roundtrips preserve evaluation.
-    #[test]
-    fn verilog_roundtrip(n in arb_netlist(4, 10), bits in 0u64..16) {
-        let text = shell_netlist::verilog::write_verilog(&n);
-        let parsed = shell_netlist::verilog::parse_verilog(&text).unwrap();
-        let pattern = to_bits(bits, 4);
-        prop_assert_eq!(n.eval_comb(&pattern), parsed.eval_comb(&pattern));
-    }
+/// The CDCL solver's SAT answers carry verifiable models.
+#[test]
+fn solver_models_verify() {
+    forall(
+        "solver models verify",
+        0x5EED_0007,
+        48,
+        |rng| gen_clauses(rng, 10, 29, 3),
+        |clauses| {
+            let cnf = build_cnf(10, clauses);
+            let mut solver = Solver::new();
+            solver.add_cnf(&cnf);
+            if solver.solve() == SatResult::Sat {
+                let model: Vec<bool> = (0..10)
+                    .map(|v| solver.value(Var(v)).unwrap_or(false))
+                    .collect();
+                if !cnf.eval(&model) {
+                    return Err("model does not satisfy the formula".into());
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Verilog write/parse roundtrips preserve evaluation.
+#[test]
+fn verilog_roundtrip() {
+    forall(
+        "verilog roundtrip",
+        0x5EED_0008,
+        48,
+        |rng| (gen_gates(rng, 10), rng.bounded(16)),
+        |(gates, bits)| {
+            let n = build_netlist(4, gates);
+            let text = shell_netlist::verilog::write_verilog(&n);
+            let parsed = shell_netlist::verilog::parse_verilog(&text)
+                .map_err(|e| format!("parse: {e}"))?;
+            let pattern = to_bits(*bits, 4);
+            expect_eq(n.eval_comb(&pattern), parsed.eval_comb(&pattern), "verilog")
+        },
+    );
 }
 
 /// Builder-level word operators behave like u64 arithmetic (deterministic
-/// sweep rather than proptest: the space is small).
+/// sweep rather than random cases: the space is small).
 #[test]
 fn adder_matches_u64() {
+    use shell_netlist::NetlistBuilder;
     let mut b = NetlistBuilder::new("a");
     let x = b.input_bus("x", 6);
     let y = b.input_bus("y", 6);
