@@ -60,16 +60,18 @@ pub fn structural_mux_attack(locked: &Netlist, true_key: &[bool]) -> StructuralR
         .map(|(i, &n)| (n, i))
         .collect();
 
-    let mut guesses: Vec<Option<bool>> = vec![None; true_key.len()];
-    let mut key_muxes = 0usize;
-    for (cid, c) in locked.cells() {
-        if c.kind != CellKind::Mux2 {
-            continue;
-        }
-        let Some(&key_idx) = key_of_net.get(&c.inputs[0]) else {
-            continue;
-        };
-        key_muxes += 1;
+    // Scoring one mux walks the whole cell graph (a BFS plus fanin scans)
+    // but writes nothing — the per-mux loop is the attack's hot path and
+    // maps cleanly over workers. Guesses come back in job order (cell
+    // order), so the report is independent of scheduling.
+    let mux_jobs: Vec<(shell_netlist::CellId, usize)> = locked
+        .cells()
+        .filter(|(_, c)| c.kind == CellKind::Mux2)
+        .filter_map(|(cid, c)| key_of_net.get(&c.inputs[0]).map(|&ki| (cid, ki)))
+        .collect();
+    let key_muxes = mux_jobs.len();
+    let scored: Vec<(usize, bool)> = shell_exec::parallel_map(&mux_jobs, |&(cid, key_idx)| {
+        let c = locked.cell(cid);
         // Candidates: data pin 1 (selected by key = 0) vs pin 2 (key = 1).
         let score = |data_net: shell_netlist::NetId| -> f64 {
             let mut s = 0.0;
@@ -110,7 +112,11 @@ pub fn structural_mux_attack(locked: &Netlist, true_key: &[bool]) -> StructuralR
         let s1 = score(c.inputs[2]);
         // key = 0 selects pin 1; guess the higher-scoring candidate as the
         // true connection.
-        guesses[key_idx] = Some(s1 > s0);
+        (key_idx, s1 > s0)
+    });
+    let mut guesses: Vec<Option<bool>> = vec![None; true_key.len()];
+    for (key_idx, guess) in scored {
+        guesses[key_idx] = Some(guess);
     }
 
     let analyzed: Vec<(usize, bool)> = guesses

@@ -15,7 +15,11 @@ use shell_synth::{lut_map, mux_chain_map};
 use shell_util::Bench;
 
 fn main() {
+    // `SHELL_JOBS=1 cargo bench` pins every parallel kernel sequential;
+    // unset, the pool uses the machine's available parallelism.
+    let jobs = shell_exec::current_jobs();
     let mut bench = Bench::new(3, 20);
+    bench.set_jobs(jobs);
 
     let picosoc = generate(Benchmark::PicoSoc, Scale::small());
     bench.run("score_cells/picosoc", || {
@@ -38,6 +42,7 @@ fn main() {
     // PnR dominates wall clock; keep the sample small like criterion's
     // `sample_size(10)` group did.
     let mut pnr_bench = Bench::new(1, 10);
+    pnr_bench.set_jobs(jobs);
     let xbar4 = axi_xbar(4, 2);
     pnr_bench.run("pnr/chain_flow/xbar4x2", || {
         place_and_route_with_chains(

@@ -1,0 +1,135 @@
+//! Sequential-vs-parallel medians of the shell-exec-backed kernels.
+//!
+//! Runs each kernel twice in one process — pinned to `jobs = 1` and to the
+//! ambient worker count (`SHELL_JOBS` / available parallelism) via
+//! `shell_exec::with_jobs` — and writes `results/BENCH_exec.json` with both
+//! medians and the wall-clock speedup. The outputs of the two runs are also
+//! compared: the pool's contract is that they are identical.
+//!
+//! The headline kernel is the experiment-level sweep (independent PnR runs,
+//! the Table IV–VII shape), which parallelizes perfectly; `lut_map` and the
+//! structural attack exercise the finer-grained inner-loop wiring.
+
+use shell_bench::write_results_json;
+use shell_circuits::axi_xbar;
+use shell_fabric::FabricConfig;
+use shell_pnr::{place_and_route_with_chains, PnrOptions};
+use shell_synth::lut_map;
+use shell_util::{Bench, BenchReport, Json};
+
+fn main() {
+    let par_jobs = shell_exec::current_jobs();
+    println!("bench_exec: sequential (jobs=1) vs parallel (jobs={par_jobs})");
+    if par_jobs == 1 {
+        println!("note: only one worker available; speedups will be ~1.0x");
+    }
+
+    let mut pairs: Vec<(BenchReport, BenchReport)> = Vec::new();
+
+    // Kernel 1: benchmark × config sweep of full PnR flows — independent
+    // experiments, the embarrassingly parallel case the paper's evaluation
+    // tables are made of.
+    let designs = [
+        axi_xbar(4, 2),
+        axi_xbar(6, 2),
+        axi_xbar(8, 1),
+        axi_xbar(4, 4),
+    ];
+    let sweep = || {
+        shell_exec::parallel_map(&designs, |d| {
+            place_and_route_with_chains(
+                d,
+                FabricConfig::fabulous_style(true),
+                &PnrOptions::default(),
+            )
+            .expect("maps")
+            .wirelength
+        })
+    };
+    pairs.push(run_pair("pnr_sweep/xbar_x4", par_jobs, 1, 5, sweep));
+
+    // Kernel 2: LUT mapping (level-parallel cut enumeration + parallel cone
+    // truth tables).
+    let xbar = axi_xbar(8, 4);
+    pairs.push(run_pair("lut_map/xbar8x4_k4", par_jobs, 2, 9, || {
+        lut_map(&xbar, 4).lut_count
+    }));
+
+    // Kernel 3: structural mux attack (parallel per-mux scoring).
+    let (locked, key) = locked_mux_design(24);
+    pairs.push(run_pair("structural_attack/mux24", par_jobs, 2, 9, || {
+        shell_attacks::structural_mux_attack(&locked, &key).key_muxes
+    }));
+
+    let rows = Json::arr(pairs.iter().map(|(seq, par)| {
+        Json::obj([
+            ("name", Json::from(seq.name.as_str())),
+            ("jobs_seq", Json::from(seq.jobs)),
+            ("jobs_par", Json::from(par.jobs)),
+            ("seq_median_ns", Json::from(seq.median_ns)),
+            ("par_median_ns", Json::from(par.median_ns)),
+            ("speedup", Json::from(par.speedup_over(seq))),
+        ])
+    }));
+    match write_results_json("BENCH_exec", &rows) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write results json: {e}"),
+    }
+    for (seq, par) in &pairs {
+        println!(
+            "{:<28} jobs={} vs jobs=1: {:.2}x",
+            seq.name,
+            par.jobs,
+            par.speedup_over(seq)
+        );
+    }
+}
+
+/// Times `f` at `jobs = 1` and `jobs = par_jobs`, checks the two runs
+/// returned the same value, and returns both reports.
+fn run_pair<T: PartialEq + std::fmt::Debug>(
+    name: &str,
+    par_jobs: usize,
+    warmup: usize,
+    iters: usize,
+    f: impl Fn() -> T,
+) -> (BenchReport, BenchReport) {
+    let mut seq_bench = Bench::new(warmup, iters);
+    seq_bench.set_jobs(1);
+    let seq_out = shell_exec::with_jobs(1, || seq_bench.run(name, &f));
+    let mut par_bench = Bench::new(warmup, iters);
+    par_bench.set_jobs(par_jobs);
+    let par_out = shell_exec::with_jobs(par_jobs, || par_bench.run(name, &f));
+    assert_eq!(
+        seq_out, par_out,
+        "{name}: parallel output must equal sequential"
+    );
+    (
+        seq_bench.reports()[0].clone(),
+        par_bench.reports()[0].clone(),
+    )
+}
+
+/// A Fig. 1(c)-style localized mux-locked netlist for the attack kernel.
+fn locked_mux_design(bits: usize) -> (shell_netlist::Netlist, Vec<bool>) {
+    use shell_netlist::{CellKind, Netlist};
+    let mut n = Netlist::new("bench_lock");
+    let da = n.add_input("da");
+    let db = n.add_input("db");
+    let decoy = n.add_cell("decoy", CellKind::Xor, vec![da, db]);
+    n.add_output("decoy_o", decoy);
+    let mut key = Vec::new();
+    for i in 0..bits {
+        let a = n.add_input(format!("a{i}"));
+        let b = n.add_input(format!("b{i}"));
+        let t = n.add_cell(format!("t{i}"), CellKind::And, vec![a, b]);
+        let k = n.add_key_input(format!("k{i}"));
+        let key_bit = i % 2 == 1;
+        let (p1, p2) = if key_bit { (decoy, t) } else { (t, decoy) };
+        let m = n.add_cell(format!("km{i}"), CellKind::Mux2, vec![k, p1, p2]);
+        let f = n.add_cell(format!("f{i}"), CellKind::Or, vec![m, a]);
+        n.add_output(format!("o{i}"), f);
+        key.push(key_bit);
+    }
+    (n, key)
+}

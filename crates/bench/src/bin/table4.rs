@@ -19,50 +19,64 @@ fn main() {
     let mut base_sum = [0.0f64; 3];
     let mut base_n = 0usize;
     let mut shell_n = 0usize;
+    // One full redaction + resilience check per (benchmark, case) combo;
+    // the combos are independent, so the sweep fans out over workers
+    // (SHELL_JOBS) and rows come back in combo order regardless of
+    // scheduling.
+    let mut combos = Vec::new();
     for bench in Benchmark::all() {
-        let design = generate(bench, eval_scale());
         for case in BaselineCase::all() {
-            let cells = case.target_cells(bench, &design);
-            let tfr = tfr_label(bench, case);
-            match redact_baseline(&design, &cells, case, &ShellOptions::default()) {
-                Ok(outcome) => {
-                    let oh = evaluate_overhead(&design, &outcome);
-                    let res = check_resilience(&design, &outcome);
-                    t.row(vec![
-                        bench.name().into(),
-                        short(case),
-                        tfr,
-                        f2(oh.area),
-                        f2(oh.power),
-                        f2(oh.delay),
-                        res.cell(),
-                        outcome.key_bits().to_string(),
-                    ]);
-                    if case == BaselineCase::Shell {
-                        shell_sum[0] += oh.area;
-                        shell_sum[1] += oh.power;
-                        shell_sum[2] += oh.delay;
-                        shell_n += 1;
-                    } else {
-                        base_sum[0] += oh.area;
-                        base_sum[1] += oh.power;
-                        base_sum[2] += oh.delay;
-                        base_n += 1;
-                    }
-                }
-                Err(e) => {
-                    t.row(vec![
-                        bench.name().into(),
-                        short(case),
-                        tfr,
-                        "-".into(),
-                        "-".into(),
-                        "-".into(),
-                        format!("error: {e}"),
-                        "-".into(),
-                    ]);
-                }
+            combos.push((bench, case));
+        }
+    }
+    let outcomes = shell_exec::parallel_map(&combos, |&(bench, case)| {
+        let design = generate(bench, eval_scale());
+        let cells = case.target_cells(bench, &design);
+        let tfr = tfr_label(bench, case);
+        match redact_baseline(&design, &cells, case, &ShellOptions::default()) {
+            Ok(outcome) => {
+                let oh = evaluate_overhead(&design, &outcome);
+                let res = check_resilience(&design, &outcome);
+                let row = vec![
+                    bench.name().into(),
+                    short(case),
+                    tfr,
+                    f2(oh.area),
+                    f2(oh.power),
+                    f2(oh.delay),
+                    res.cell(),
+                    outcome.key_bits().to_string(),
+                ];
+                (row, Some([oh.area, oh.power, oh.delay]))
             }
+            Err(e) => {
+                let row = vec![
+                    bench.name().into(),
+                    short(case),
+                    tfr,
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("error: {e}"),
+                    "-".into(),
+                ];
+                (row, None)
+            }
+        }
+    });
+    for (&(_, case), (row, overhead)) in combos.iter().zip(outcomes) {
+        t.row(row);
+        let Some(oh) = overhead else { continue };
+        if case == BaselineCase::Shell {
+            shell_sum[0] += oh[0];
+            shell_sum[1] += oh[1];
+            shell_sum[2] += oh[2];
+            shell_n += 1;
+        } else {
+            base_sum[0] += oh[0];
+            base_sum[1] += oh[1];
+            base_sum[2] += oh[2];
+            base_n += 1;
         }
     }
     t.print("Table IV — Comparative (Normalized) Overhead in eFPGA-based IP Redaction");

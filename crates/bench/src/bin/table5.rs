@@ -17,19 +17,35 @@ fn main() {
         "Benchmark", "C1 A", "C1 P", "C1 D", "C2 A", "C2 P", "C2 D", "C3 A", "C3 P", "C3 D",
         "C4 A", "C4 P", "C4 D",
     ]);
+    // Each (benchmark, case) redaction is independent: fan the whole grid
+    // out over workers and assemble the rows in order afterwards.
+    let mut combos = Vec::new();
     for bench in benches {
+        for case in BaselineCase::all() {
+            combos.push((bench, case));
+        }
+    }
+    let cells_per_combo = shell_exec::parallel_map(&combos, |&(bench, case)| {
         let design = generate(bench, eval_scale());
         // Same target everywhere: SheLL's ROUTE+LGC cells.
         let cells = BaselineCase::Shell.target_cells(bench, &design);
-        let mut row = vec![bench.name().to_string()];
-        for case in BaselineCase::all() {
-            match redact_baseline(&design, &cells, case, &ShellOptions::default()) {
-                Ok(outcome) => {
-                    let oh = evaluate_overhead(&design, &outcome);
-                    row.extend([f3(oh.area), f3(oh.power), f3(oh.delay)]);
-                }
-                Err(_) => row.extend(["-".into(), "-".into(), "-".into()]),
+        match redact_baseline(&design, &cells, case, &ShellOptions::default()) {
+            Ok(outcome) => {
+                let oh = evaluate_overhead(&design, &outcome);
+                vec![f3(oh.area), f3(oh.power), f3(oh.delay)]
             }
+            Err(_) => vec!["-".into(), "-".into(), "-".into()],
+        }
+    });
+    let cases_per_bench = BaselineCase::all().len();
+    for (bi, bench) in benches.iter().enumerate() {
+        let mut row = vec![bench.name().to_string()];
+        for chunk in cells_per_combo
+            .iter()
+            .skip(bi * cases_per_bench)
+            .take(cases_per_bench)
+        {
+            row.extend(chunk.iter().cloned());
         }
         t.row(row);
     }

@@ -25,35 +25,46 @@ fn main() {
     let mut t = Table::new(&header_refs);
     let mut c5_wins = 0usize;
     let mut rows = 0usize;
+    // Every (benchmark, preset) runs a full lock + attack pipeline —
+    // independent work, fanned out over workers; results return in combo
+    // order for the deterministic row assembly below.
+    let mut combos = Vec::new();
     for bench in Benchmark::all() {
+        for (_, coeffs) in &presets {
+            combos.push((bench, *coeffs));
+        }
+    }
+    let outcomes = shell_exec::parallel_map(&combos, |&(bench, coeffs)| {
         let design = generate(bench, eval_scale());
+        let opts = ShellOptions {
+            selection: SelectionOptions {
+                coefficients: coeffs,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        match shell_lock(&design, &opts) {
+            Ok(outcome) => {
+                let oh = evaluate_overhead(&design, &outcome);
+                let res = check_resilience(&design, &outcome);
+                (
+                    vec![f2(oh.area), f2(oh.power), f2(oh.delay), res.cell()],
+                    oh.area,
+                )
+            }
+            Err(_) => (
+                vec!["-".into(), "-".into(), "-".into(), "n/a".into()],
+                f64::INFINITY,
+            ),
+        }
+    });
+    for (bi, bench) in Benchmark::all().into_iter().enumerate() {
         let mut row = vec![bench.name().to_string()];
         let mut areas: Vec<f64> = Vec::new();
-        for (_, coeffs) in &presets {
-            let opts = ShellOptions {
-                selection: SelectionOptions {
-                    coefficients: *coeffs,
-                    ..Default::default()
-                },
-                ..Default::default()
-            };
-            match shell_lock(&design, &opts) {
-                Ok(outcome) => {
-                    let oh = evaluate_overhead(&design, &outcome);
-                    let res = check_resilience(&design, &outcome);
-                    row.extend([
-                        f2(oh.area),
-                        f2(oh.power),
-                        f2(oh.delay),
-                        res.cell(),
-                    ]);
-                    areas.push(oh.area);
-                }
-                Err(_) => {
-                    row.extend(["-".into(), "-".into(), "-".into(), "n/a".into()]);
-                    areas.push(f64::INFINITY);
-                }
-            }
+        for (cells, area) in outcomes.iter().skip(bi * presets.len()).take(presets.len())
+        {
+            row.extend(cells.iter().cloned());
+            areas.push(*area);
         }
         if areas.len() == 5 {
             rows += 1;

@@ -21,30 +21,39 @@ fn main() {
         "d0 A", "d0 P", "d0 D",
         "d2/d0 area",
     ]);
+    // Paper order: depth 2, depth 1, then SheLL's direct depth 0. The nine
+    // (benchmark, depth) locks are independent — run them across workers
+    // and assemble rows in sweep order.
+    let depths = [2usize, 1, 0];
+    let mut combos = Vec::new();
     for bench in benches {
+        for depth in depths {
+            combos.push((bench, depth));
+        }
+    }
+    let outcomes = shell_exec::parallel_map(&combos, |&(bench, depth)| {
         let design = generate(bench, eval_scale());
+        let opts = ShellOptions {
+            selection: SelectionOptions {
+                lgc_depth: depth,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        match shell_lock(&design, &opts) {
+            Ok(outcome) => {
+                let oh = evaluate_overhead(&design, &outcome);
+                (vec![f3(oh.area), f3(oh.power), f3(oh.delay)], oh.area)
+            }
+            Err(_) => (vec!["-".into(), "-".into(), "-".into()], f64::NAN),
+        }
+    });
+    for (bi, bench) in benches.iter().enumerate() {
         let mut row = vec![bench.name().to_string()];
         let mut area_by_depth = Vec::new();
-        // Paper order: depth 2, depth 1, then SheLL's direct depth 0.
-        for depth in [2usize, 1, 0] {
-            let opts = ShellOptions {
-                selection: SelectionOptions {
-                    lgc_depth: depth,
-                    ..Default::default()
-                },
-                ..Default::default()
-            };
-            match shell_lock(&design, &opts) {
-                Ok(outcome) => {
-                    let oh = evaluate_overhead(&design, &outcome);
-                    row.extend([f3(oh.area), f3(oh.power), f3(oh.delay)]);
-                    area_by_depth.push(oh.area);
-                }
-                Err(_) => {
-                    row.extend(["-".into(), "-".into(), "-".into()]);
-                    area_by_depth.push(f64::NAN);
-                }
-            }
+        for (cells, area) in outcomes.iter().skip(bi * depths.len()).take(depths.len()) {
+            row.extend(cells.iter().cloned());
+            area_by_depth.push(*area);
         }
         let ratio = if area_by_depth.len() == 3 && area_by_depth[2].is_finite() {
             format!("{:.2}x", area_by_depth[0] / area_by_depth[2])

@@ -160,6 +160,11 @@ impl Table {
 /// (resolved relative to this crate, so it works from any CWD — cargo runs
 /// benches and binaries with different working directories).
 ///
+/// The payload is wrapped as `{"jobs": N, "data": <json>}` so every results
+/// artifact records the worker count (`SHELL_JOBS` / available parallelism)
+/// it was produced with — numbers measured at different thread counts must
+/// not be diffed silently.
+///
 /// Returns the path written.
 ///
 /// # Errors
@@ -171,7 +176,11 @@ pub fn write_results_json(name: &str, json: &Json) -> Result<String, String> {
         .join("results");
     std::fs::create_dir_all(&root).map_err(|e| e.to_string())?;
     let path = root.join(format!("{name}.json"));
-    std::fs::write(&path, json.to_string_pretty()).map_err(|e| e.to_string())?;
+    let payload = Json::obj([
+        ("jobs", Json::from(shell_exec::current_jobs())),
+        ("data", json.clone()),
+    ]);
+    std::fs::write(&path, payload.to_string_pretty()).map_err(|e| e.to_string())?;
     Ok(path.display().to_string())
 }
 

@@ -22,6 +22,11 @@ pub struct PnrOptions {
     pub max_route_iterations: usize,
     /// Fabric expansion attempts (step 7 retries).
     pub max_fit_attempts: usize,
+    /// Independent annealing starts per placement; the lowest-HPWL start
+    /// wins ([`place::place_multi_start`]). Starts run in parallel when
+    /// workers are available, so extra starts are close to free on
+    /// multi-core machines; `1` reproduces the single-start flow.
+    pub place_starts: usize,
     /// Verify the configured fabric against the input netlist.
     pub verify: bool,
 }
@@ -32,6 +37,7 @@ impl Default for PnrOptions {
             seed: 0xC0FFEE,
             max_route_iterations: 96,
             max_fit_attempts: 18,
+            place_starts: 2,
             verify: true,
         }
     }
@@ -462,11 +468,12 @@ fn try_once(
     // burns a track the block's pins need.
     let chain_tiles: std::collections::HashSet<(usize, usize)> =
         used_blocks.iter().copied().collect();
-    let placement = place::place_with_hints(
+    let placement = place::place_multi_start(
         mapped,
         slots,
         fabric,
         options.seed + attempt as u64,
+        options.place_starts,
         &pin_hints,
         &chain_tiles,
     )

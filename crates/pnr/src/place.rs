@@ -433,6 +433,51 @@ pub fn place_with_hints(
     })
 }
 
+/// Runs [`place_with_hints`] from `starts` independently derived seeds (in
+/// parallel when workers are available) and keeps the lowest-HPWL result.
+///
+/// Start `i` anneals with seed `base_seed + i·φ64`; start 0 is therefore
+/// exactly the single-start placement, so `starts = 1` reproduces
+/// [`place_with_hints`] unchanged. The winner is chosen by `(hpwl, start
+/// index)` — comparing in start order with a strict `<` makes the earliest
+/// start win ties, so the choice does not depend on how the parallel map
+/// was scheduled.
+///
+/// # Errors
+///
+/// Returns the first start's error when every start fails.
+pub fn place_multi_start(
+    netlist: &Netlist,
+    slots: &[Slot],
+    fabric: &Fabric,
+    base_seed: u64,
+    starts: usize,
+    pin_hints: &HashMap<NetId, Vec<(usize, usize)>>,
+    pad_averse_tiles: &std::collections::HashSet<(usize, usize)>,
+) -> Result<Placement, String> {
+    let seeds: Vec<u64> = (0..starts.max(1) as u64)
+        .map(|i| base_seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        .collect();
+    let results = shell_exec::parallel_map(&seeds, |&seed| {
+        place_with_hints(netlist, slots, fabric, seed, pin_hints, pad_averse_tiles)
+    });
+    let mut best: Option<Placement> = None;
+    let mut first_err: Option<String> = None;
+    for result in results {
+        match result {
+            Ok(p) => {
+                if best.as_ref().map(|b| p.hpwl < b.hpwl).unwrap_or(true) {
+                    best = Some(p);
+                }
+            }
+            Err(e) => {
+                first_err.get_or_insert(e);
+            }
+        };
+    }
+    best.ok_or_else(|| first_err.unwrap_or_else(|| "no placement starts".into()))
+}
+
 fn tile_centroid(tiles: &[(usize, usize)], fabric: &Fabric) -> (f64, f64) {
     if tiles.is_empty() {
         return (fabric.width() as f64 / 2.0, fabric.height() as f64 / 2.0);

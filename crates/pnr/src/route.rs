@@ -163,9 +163,33 @@ impl<'f> Router<'f> {
         let by_id: HashMap<usize, &RouteRequest> =
             requests.iter().map(|r| (r.net, r)).collect();
 
-        // Initial pass: route in request order against the growing occupancy.
-        for req in requests {
-            let routed = self.route_one(req, &occupancy, 0).ok_or(req.net)?;
+        // Initial pass, in two deterministic stages. Stage 1 computes a
+        // candidate route per net in parallel against a *frozen* snapshot
+        // (empty occupancy — a pure function of fabric and history, so the
+        // candidates are identical at any worker count). Stage 2 commits
+        // sequentially in request order: a candidate whose nodes are still
+        // free is taken as-is; one that collides with already-committed
+        // nodes is re-routed on the spot against the live occupancy, which
+        // is exactly what a fully sequential pass would have done for it.
+        // Both stages depend only on request order, never on thread
+        // scheduling, so the routing (and the bitstream downstream) is
+        // byte-identical at every `SHELL_JOBS` setting.
+        let candidates: Vec<Option<RoutedNet>> = {
+            let this: &Router<'f> = self;
+            let empty = vec![0u32; n_nodes];
+            shell_exec::parallel_map(requests, |req| this.route_one(req, &empty, 0))
+        };
+        for (req, candidate) in requests.iter().zip(candidates) {
+            let candidate = candidate.ok_or(req.net)?;
+            let collides = candidate
+                .nodes
+                .keys()
+                .any(|&(x, y, t)| occupancy[self.node_index(x, y, t)] > 0);
+            let routed = if collides {
+                self.route_one(req, &occupancy, 0).ok_or(req.net)?
+            } else {
+                candidate
+            };
             for &(x, y, t) in routed.nodes.keys() {
                 occupancy[self.node_index(x, y, t)] += 1;
             }

@@ -106,108 +106,58 @@ fn lut_map_impl(netlist: &Netlist, k: usize, keep_muxes: bool) -> LutMapping {
     // Best cuts per *cell* output net.
     let mut cuts: HashMap<NetId, Vec<Cut>> = HashMap::new();
     let order = prepared.topo_order().expect("cyclic netlist");
+    // Bucket combinational cells by structural level (1 + max level of the
+    // driving cells; sources sit at 0): a cell's cut merge only reads the
+    // cuts and depths of strictly lower levels, so each bucket enumerates
+    // in parallel and commits sequentially in topological order. The commit
+    // order is the bucket's (deterministic) order, never thread order.
+    let mut net_level = vec![0usize; n_nets];
+    let mut level_buckets: Vec<Vec<CellId>> = Vec::new();
     for cid in &order {
         let c = prepared.cell(*cid);
-        if c.kind.is_sequential() {
-            continue;
-        }
-        if matches!(c.kind, CellKind::Const(_)) {
+        if c.kind.is_sequential() || matches!(c.kind, CellKind::Const(_)) {
             // Constants are sources with a zero-leaf cut handled at build.
             continue;
         }
-        if is_kept(c.kind) {
-            // Preserved mux: its output is a cut leaf for downstream logic.
-            net_depth[c.output.index()] = 1 + c
-                .inputs
-                .iter()
-                .map(|n| net_depth[n.index()])
-                .max()
-                .unwrap_or(0);
-            continue;
-        }
-        let out = c.output;
-        // Fanin cut lists: a leaf net contributes its own trivial cut.
-        let fanin_cuts: Vec<Vec<Cut>> = c
+        let lvl = 1 + c
             .inputs
             .iter()
-            .map(|&inp| {
-                let mut list = vec![Cut {
-                    leaves: vec![inp],
-                    depth: net_depth[inp.index()],
-                }];
-                if let Some(sub) = cuts.get(&inp) {
-                    list.extend(sub.iter().cloned());
-                }
-                list
-            })
-            .collect();
-        // Cartesian merge.
-        let mut merged: Vec<Cut> = vec![Cut {
-            leaves: Vec::new(),
-            depth: 0,
-        }];
-        for fc in &fanin_cuts {
-            let mut next: Vec<Cut> = Vec::new();
-            for base in &merged {
-                for add in fc {
-                    let mut leaves = base.leaves.clone();
-                    for &l in &add.leaves {
-                        if !leaves.contains(&l) {
-                            leaves.push(l);
-                        }
-                    }
-                    if leaves.len() > k {
-                        continue;
-                    }
-                    next.push(Cut {
-                        leaves,
-                        depth: base.depth.max(add.depth),
-                    });
-                }
-            }
-            // Prune aggressively to keep the product bounded; same ranking
-            // as the final cut list (depth, then wider-first).
-            next.sort_by(|a, b| {
-                a.depth
-                    .cmp(&b.depth)
-                    .then(b.leaves.len().cmp(&a.leaves.len()))
-            });
-            next.dedup_by(|a, b| {
-                a.leaves.len() == b.leaves.len() && {
-                    let mut x = a.leaves.clone();
-                    let mut y = b.leaves.clone();
-                    x.sort_unstable();
-                    y.sort_unstable();
-                    x == y
-                }
-            });
-            next.truncate(CUTS_PER_NODE * 2);
-            merged = next;
+            .map(|n| net_level[n.index()])
+            .max()
+            .unwrap_or(0);
+        net_level[c.output.index()] = lvl;
+        if level_buckets.len() < lvl {
+            level_buckets.resize(lvl, Vec::new());
         }
-        let mut node_cuts: Vec<Cut> = merged
-            .into_iter()
-            .map(|c| Cut {
-                leaves: {
-                    let mut l = c.leaves;
-                    l.sort_unstable();
-                    l
-                },
-                depth: c.depth + 1,
+        level_buckets[lvl - 1].push(*cid);
+    }
+    for bucket in &level_buckets {
+        let results: Vec<(NetId, Option<Vec<Cut>>, usize)> = {
+            let (net_depth, cuts) = (&net_depth, &cuts);
+            shell_exec::parallel_map_grain(bucket, 8, |&cid| {
+                let c = prepared.cell(cid);
+                if is_kept(c.kind) {
+                    // Preserved mux: its output is a cut leaf downstream.
+                    let d = 1 + c
+                        .inputs
+                        .iter()
+                        .map(|n| net_depth[n.index()])
+                        .max()
+                        .unwrap_or(0);
+                    (c.output, None, d)
+                } else {
+                    let node_cuts = enumerate_cuts(c, k, net_depth, cuts);
+                    let d = node_cuts[0].depth;
+                    (c.output, Some(node_cuts), d)
+                }
             })
-            .collect();
-        // Rank: minimal depth first; at equal depth prefer *larger* cuts —
-        // a wider cut swallows more interior logic into one LUT, which is
-        // what keeps the area of the cover down.
-        node_cuts.sort_by(|a, b| {
-            a.depth
-                .cmp(&b.depth)
-                .then(b.leaves.len().cmp(&a.leaves.len()))
-        });
-        node_cuts.dedup_by(|a, b| a.leaves == b.leaves);
-        node_cuts.truncate(CUTS_PER_NODE);
-        debug_assert!(!node_cuts.is_empty(), "every node has at least one cut");
-        net_depth[out.index()] = node_cuts[0].depth;
-        cuts.insert(out, node_cuts);
+        };
+        for (out, node_cuts, d) in results {
+            net_depth[out.index()] = d;
+            if let Some(nc) = node_cuts {
+                cuts.insert(out, nc);
+            }
+        }
     }
 
     // --- Phase 2: covering ----------------------------------------------
@@ -268,6 +218,31 @@ fn lut_map_impl(netlist: &Netlist, k: usize, keep_muxes: bool) -> LutMapping {
             _ => {}
         }
     }
+    // Cone truth tables are pure functions of the prepared netlist and the
+    // selected cuts — simulate them all in parallel before the (inherently
+    // sequential) netlist construction below consumes them in topo order.
+    let masks: HashMap<NetId, u64> = {
+        let pos: HashMap<CellId, usize> =
+            order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let roots: Vec<(NetId, &Cut)> = order
+            .iter()
+            .filter_map(|cid| {
+                let c = prepared.cell(*cid);
+                if is_kept(c.kind) {
+                    return None;
+                }
+                selected.get(&c.output).map(|cut| (c.output, cut))
+            })
+            .collect();
+        let tables = shell_exec::parallel_map_grain(&roots, 8, |&(root, cut)| {
+            cone_truth_table(&prepared, root, &cut.leaves, &pos)
+        });
+        roots
+            .iter()
+            .zip(tables)
+            .map(|(&(root, _), mask)| (root, mask))
+            .collect()
+    };
     // Emit LUTs (and preserved muxes) in topological order.
     let mut lut_count = 0usize;
     for cid in &order {
@@ -286,7 +261,7 @@ fn lut_map_impl(netlist: &Netlist, k: usize, keep_muxes: bool) -> LutMapping {
         let Some(cut) = selected.get(&root) else {
             continue;
         };
-        let mask = cone_truth_table(&prepared, root, &cut.leaves);
+        let mask = masks[&root];
         let ins: Vec<NetId> = cut
             .leaves
             .iter()
@@ -339,9 +314,109 @@ fn lut_map_impl(netlist: &Netlist, k: usize, keep_muxes: bool) -> LutMapping {
     }
 }
 
+/// One cell's priority-cut list: trivial fanin cuts plus the fanins' own
+/// cut lists, Cartesian-merged, ranked and truncated. Reads only the cuts
+/// and depths of the cell's fanins, so cells of one structural level can
+/// run concurrently.
+fn enumerate_cuts(
+    c: &shell_netlist::Cell,
+    k: usize,
+    net_depth: &[usize],
+    cuts: &HashMap<NetId, Vec<Cut>>,
+) -> Vec<Cut> {
+    // Fanin cut lists: a leaf net contributes its own trivial cut.
+    let fanin_cuts: Vec<Vec<Cut>> = c
+        .inputs
+        .iter()
+        .map(|&inp| {
+            let mut list = vec![Cut {
+                leaves: vec![inp],
+                depth: net_depth[inp.index()],
+            }];
+            if let Some(sub) = cuts.get(&inp) {
+                list.extend(sub.iter().cloned());
+            }
+            list
+        })
+        .collect();
+    // Cartesian merge.
+    let mut merged: Vec<Cut> = vec![Cut {
+        leaves: Vec::new(),
+        depth: 0,
+    }];
+    for fc in &fanin_cuts {
+        let mut next: Vec<Cut> = Vec::new();
+        for base in &merged {
+            for add in fc {
+                let mut leaves = base.leaves.clone();
+                for &l in &add.leaves {
+                    if !leaves.contains(&l) {
+                        leaves.push(l);
+                    }
+                }
+                if leaves.len() > k {
+                    continue;
+                }
+                next.push(Cut {
+                    leaves,
+                    depth: base.depth.max(add.depth),
+                });
+            }
+        }
+        // Prune aggressively to keep the product bounded; same ranking
+        // as the final cut list (depth, then wider-first).
+        next.sort_by(|a, b| {
+            a.depth
+                .cmp(&b.depth)
+                .then(b.leaves.len().cmp(&a.leaves.len()))
+        });
+        next.dedup_by(|a, b| {
+            a.leaves.len() == b.leaves.len() && {
+                let mut x = a.leaves.clone();
+                let mut y = b.leaves.clone();
+                x.sort_unstable();
+                y.sort_unstable();
+                x == y
+            }
+        });
+        next.truncate(CUTS_PER_NODE * 2);
+        merged = next;
+    }
+    let mut node_cuts: Vec<Cut> = merged
+        .into_iter()
+        .map(|c| Cut {
+            leaves: {
+                let mut l = c.leaves;
+                l.sort_unstable();
+                l
+            },
+            depth: c.depth + 1,
+        })
+        .collect();
+    // Rank: minimal depth first; at equal depth prefer *larger* cuts —
+    // a wider cut swallows more interior logic into one LUT, which is
+    // what keeps the area of the cover down.
+    node_cuts.sort_by(|a, b| {
+        a.depth
+            .cmp(&b.depth)
+            .then(b.leaves.len().cmp(&a.leaves.len()))
+    });
+    node_cuts.dedup_by(|a, b| a.leaves == b.leaves);
+    node_cuts.truncate(CUTS_PER_NODE);
+    debug_assert!(!node_cuts.is_empty(), "every node has at least one cut");
+    node_cuts
+}
+
 /// Truth table of the cone rooted at `root` with the given leaf nets,
-/// computed by exhaustive simulation of the cone.
-fn cone_truth_table(netlist: &Netlist, root: NetId, leaves: &[NetId]) -> u64 {
+/// computed by exhaustive simulation of the cone. `pos` is the global
+/// topological position of every cell (shared across calls — rebuilding it
+/// per cone dominated mapping time on wide netlists).
+fn cone_truth_table(
+    netlist: &Netlist,
+    root: NetId,
+    leaves: &[NetId],
+    pos: &HashMap<CellId, usize>,
+) -> u64 {
     let k = leaves.len();
     debug_assert!(k <= 6);
     // Collect cone cells by reverse DFS bounded at leaves.
@@ -366,8 +441,6 @@ fn cone_truth_table(netlist: &Netlist, root: NetId, leaves: &[NetId]) -> u64 {
     }
     // Order cone cells topologically (they are a sub-DAG; sort by the global
     // topological position).
-    let order = netlist.topo_order().expect("cyclic");
-    let pos: HashMap<CellId, usize> = order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
     cone.sort_by_key(|c| pos[c]);
 
     let mut mask = 0u64;

@@ -24,20 +24,32 @@ pub struct BenchReport {
     pub median_ns: u64,
     /// 95th percentile, nanoseconds.
     pub p95_ns: u64,
+    /// Worker count the benchmarked code ran with (`SHELL_JOBS` /
+    /// available parallelism at record time, or whatever the harness set
+    /// via [`Bench::set_jobs`]). `1` means sequential.
+    pub jobs: usize,
 }
 
 impl BenchReport {
     /// One-line human summary (`name  median 1.234ms  p95 2.000ms ...`).
     pub fn line(&self) -> String {
         format!(
-            "{:<32} median {:>10}  p95 {:>10}  min {:>10}  mean {:>10}  ({} iters)",
+            "{:<32} median {:>10}  p95 {:>10}  min {:>10}  mean {:>10}  ({} iters, jobs={})",
             self.name,
             fmt_ns(self.median_ns),
             fmt_ns(self.p95_ns),
             fmt_ns(self.min_ns),
             fmt_ns(self.mean_ns),
-            self.iters
+            self.iters,
+            self.jobs
         )
+    }
+
+    /// Median wall-clock speedup of `self` over `other` (> 1 means `self`
+    /// is faster). Intended for sequential-vs-parallel comparisons of the
+    /// same kernel recorded at different [`BenchReport::jobs`].
+    pub fn speedup_over(&self, other: &BenchReport) -> f64 {
+        other.median_ns as f64 / self.median_ns.max(1) as f64
     }
 
     /// JSON object for `results/*.json`.
@@ -49,6 +61,7 @@ impl BenchReport {
             ("mean_ns", Json::from(self.mean_ns)),
             ("median_ns", Json::from(self.median_ns)),
             ("p95_ns", Json::from(self.p95_ns)),
+            ("jobs", Json::from(self.jobs)),
         ])
     }
 }
@@ -71,11 +84,17 @@ fn fmt_ns(ns: u64) -> String {
 pub struct Bench {
     warmup: usize,
     iters: usize,
+    jobs: usize,
     reports: Vec<BenchReport>,
 }
 
 impl Bench {
     /// Creates a runner with the given warmup and iteration counts.
+    ///
+    /// Reports are stamped with the ambient worker count (`SHELL_JOBS`, or
+    /// the machine's available parallelism) so `results/*.json` records how
+    /// many threads the numbers were measured with; harnesses that pin the
+    /// count in-process should call [`Bench::set_jobs`].
     ///
     /// # Panics
     ///
@@ -86,8 +105,16 @@ impl Bench {
         Self {
             warmup,
             iters,
+            jobs: ambient_jobs(),
             reports: Vec::new(),
         }
+    }
+
+    /// Overrides the worker count stamped into subsequent reports. Use when
+    /// the harness pins the count in-process (e.g. `shell_exec::with_jobs`)
+    /// rather than through the `SHELL_JOBS` environment.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
     }
 
     /// Times `f`, printing the summary line and recording the report.
@@ -105,7 +132,7 @@ impl Bench {
             samples.push(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
             last = Some(value);
         }
-        let report = summarize(name, &mut samples);
+        let report = summarize(name, &mut samples, self.jobs);
         println!("{}", report.line());
         self.reports.push(report);
         last.expect("iters > 0")
@@ -122,7 +149,7 @@ impl Bench {
     }
 }
 
-fn summarize(name: &str, samples: &mut [u64]) -> BenchReport {
+fn summarize(name: &str, samples: &mut [u64], jobs: usize) -> BenchReport {
     samples.sort_unstable();
     let n = samples.len();
     let sum: u128 = samples.iter().map(|&s| s as u128).sum();
@@ -134,7 +161,25 @@ fn summarize(name: &str, samples: &mut [u64]) -> BenchReport {
         median_ns: samples[n / 2],
         // Nearest-rank p95, clamped to the last sample.
         p95_ns: samples[((n * 95).div_ceil(100)).saturating_sub(1).min(n - 1)],
+        jobs,
     }
+}
+
+/// The worker count the environment implies: `SHELL_JOBS` (a positive
+/// integer) when set, the machine's available parallelism otherwise. This
+/// mirrors `shell-exec`'s resolution — duplicated here because `shell-util`
+/// sits below `shell-exec` in the dependency order.
+fn ambient_jobs() -> usize {
+    if let Ok(v) = std::env::var("SHELL_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -157,7 +202,7 @@ mod tests {
     #[test]
     fn summary_order_statistics() {
         let mut samples = vec![50, 10, 30, 20, 40];
-        let r = summarize("s", &mut samples);
+        let r = summarize("s", &mut samples, 1);
         assert_eq!(r.min_ns, 10);
         assert_eq!(r.median_ns, 30);
         assert_eq!(r.mean_ns, 30);
@@ -167,7 +212,7 @@ mod tests {
     #[test]
     fn p95_of_large_sample() {
         let mut samples: Vec<u64> = (1..=100).collect();
-        let r = summarize("s", &mut samples);
+        let r = summarize("s", &mut samples, 1);
         assert_eq!(r.p95_ns, 95);
         assert_eq!(r.median_ns, 51);
     }
@@ -175,11 +220,21 @@ mod tests {
     #[test]
     fn json_shape() {
         let mut bench = Bench::new(0, 2);
+        bench.set_jobs(3);
         bench.run("x", || 1);
         let json = bench.to_json();
         let arr = json.as_arr().unwrap();
         assert_eq!(arr[0].get("name").and_then(Json::as_str), Some("x"));
         assert!(arr[0].get("median_ns").and_then(Json::as_u64).is_some());
+        assert_eq!(arr[0].get("jobs").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn speedup_compares_medians() {
+        let seq = summarize("k", &mut [400, 400, 400], 1);
+        let par = summarize("k", &mut [100, 100, 100], 4);
+        assert!((par.speedup_over(&seq) - 4.0).abs() < 1e-9);
+        assert!((seq.speedup_over(&par) - 0.25).abs() < 1e-9);
     }
 
     #[test]

@@ -38,8 +38,14 @@ echo "ok"
 echo "== cargo build --release --offline =="
 cargo build --release --offline
 
-echo "== cargo test -q --offline =="
-cargo test -q --offline
+# The suite runs twice: once pinned sequential and once with a small worker
+# pool, so a scheduling-dependent result (the bug class shell-exec's ordered
+# merge exists to prevent) fails verification rather than landing.
+echo "== cargo test -q --offline (SHELL_JOBS=1) =="
+SHELL_JOBS=1 cargo test -q --offline
+
+echo "== cargo test -q --offline (SHELL_JOBS=4) =="
+SHELL_JOBS=4 cargo test -q --offline
 
 echo "== cargo build --offline --benches --examples --bins =="
 cargo build -q --offline --benches --examples --bins

@@ -82,6 +82,37 @@ fn bitstream_bytes_identical_for_same_seed() {
     );
 }
 
+/// The parallel runtime must not leak scheduling into results: the full
+/// chain flow produces byte-identical bitstreams at `jobs = 1` (pure
+/// sequential fallback, no threads), `jobs = 2` and `jobs = 8`
+/// (oversubscribed work-stealing) — shell-exec's index-ordered merge and
+/// the router's frozen-snapshot/ordered-commit pass are what this pins.
+#[test]
+fn bitstream_identical_across_jobs_settings() {
+    let design = axi_xbar(4, 2);
+    let opts = PnrOptions::default();
+    let run = || {
+        place_and_route_with_chains(&design, FabricConfig::fabulous_style(true), &opts)
+            .expect("maps")
+    };
+    let baseline = shell_exec::with_jobs(1, run);
+    for jobs in [2usize, 8] {
+        let parallel = shell_exec::with_jobs(jobs, run);
+        assert_eq!(
+            baseline.bitstream.to_hex(),
+            parallel.bitstream.to_hex(),
+            "bitstream bytes must not depend on jobs={jobs}"
+        );
+        assert_eq!(
+            baseline.bitstream.used_mask(),
+            parallel.bitstream.used_mask(),
+            "used mask must not depend on jobs={jobs}"
+        );
+        assert_eq!(baseline.wirelength, parallel.wirelength);
+        assert_eq!(baseline.route_iterations, parallel.route_iterations);
+    }
+}
+
 /// A different PnR seed produces a different (but still valid) bitstream —
 /// the knob the paper's per-seed resilience sweeps rely on.
 #[test]
