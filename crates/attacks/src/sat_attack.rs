@@ -15,7 +15,7 @@
 
 use shell_netlist::equiv::{equiv_exhaustive, equiv_random, EquivResult};
 use shell_netlist::{CellKind, NetId, Netlist};
-use shell_sat::{encode_netlist, Lit, SatResult, Solver};
+use shell_sat::{encode_miter, encode_netlist, Lit, SatResult, Solver};
 
 /// Attack configuration.
 #[derive(Debug, Clone)]
@@ -193,20 +193,10 @@ pub fn sat_attack(
 
     let mut solver = Solver::new();
     solver.set_conflict_budget(options.conflict_budget);
-    let copy_a = encode_netlist(&mut solver, locked, None, None);
-    let copy_b = encode_netlist(&mut solver, locked, Some(&copy_a.inputs), None);
-    // Miter: at least one output pair differs. diff_o = out_a ⊕ out_b.
-    let mut diffs = Vec::with_capacity(copy_a.outputs.len());
-    for (&a, &b) in copy_a.outputs.iter().zip(&copy_b.outputs) {
-        let d = solver.new_var();
-        // d = a ⊕ b
-        solver.add_clause(&[Lit::neg(a), Lit::neg(b), Lit::neg(d)]);
-        solver.add_clause(&[Lit::pos(a), Lit::pos(b), Lit::neg(d)]);
-        solver.add_clause(&[Lit::pos(a), Lit::neg(b), Lit::pos(d)]);
-        solver.add_clause(&[Lit::neg(a), Lit::pos(b), Lit::pos(d)]);
-        diffs.push(Lit::pos(d));
-    }
-    solver.add_clause(&diffs);
+    // Miter of two copies of the locked design: shared inputs, independent
+    // key candidates, at least one output pair forced to differ.
+    let miter = encode_miter(&mut solver, locked, locked);
+    let (copy_a, copy_b) = (miter.lhs, miter.rhs);
 
     let n_inputs = locked.inputs().len();
     let mut iterations = 0usize;

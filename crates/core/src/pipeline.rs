@@ -149,6 +149,23 @@ pub fn activate(outcome: &RedactionOutcome) -> Netlist {
     shell_fabric::shrink::bind_keys(&outcome.locked, &outcome.key)
 }
 
+/// Binds an arbitrary `key` into the locked netlist — the piracy scenario:
+/// a fab without the bitstream guessing configuration bits. Wrong keys
+/// generally corrupt the function (see the wrong-key tests and the
+/// `shell-verify` negative suite); `key` must have one bit per key input.
+///
+/// # Panics
+///
+/// Panics if `key.len()` differs from the locked netlist's key-input count.
+pub fn activate_with_key(outcome: &RedactionOutcome, key: &[bool]) -> Netlist {
+    assert_eq!(
+        key.len(),
+        outcome.locked.key_inputs().len(),
+        "activate_with_key: key width mismatch"
+    );
+    shell_fabric::shrink::bind_keys(&outcome.locked, key)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

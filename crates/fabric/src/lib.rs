@@ -41,5 +41,5 @@ pub use bitstream::Bitstream;
 pub use fabric::{BitInfo, Fabric, SignalRef};
 pub use netlist_gen::{to_configured_netlist, to_locked_netlist, IoMap};
 pub use resources::{FabricUsage, ResourceReport};
-pub use shrink::shrink_locked_netlist;
+pub use shrink::{bind_keys, shrink_locked_netlist};
 pub use techlib::{ApdReport, TechLibrary};

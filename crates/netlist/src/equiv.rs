@@ -1,25 +1,41 @@
 //! Functional equivalence checking (the JasperGold stand-in).
 //!
-//! Three strategies, all oracle-free:
+//! Four strategies behind one entry point ([`equiv`] with a [`Method`]):
 //!
-//! * [`equiv_exhaustive`] — walks every input pattern; exact, for small
+//! * [`Method::Exhaustive`] — walks every input pattern; exact, for small
 //!   combinational cones (≤ 22 inputs).
-//! * [`equiv_random`] — Monte-Carlo vectors for wide combinational designs.
-//! * [`equiv_sequential_random`] — lockstep random simulation from reset for
-//!   sequential designs.
+//! * [`Method::Random`] — Monte-Carlo vectors for wide combinational
+//!   designs; can only *find* counterexamples, never prove equivalence.
+//! * [`Method::SequentialRandom`] — lockstep random simulation from reset
+//!   for sequential designs.
+//! * [`Method::Sat`] — a SAT miter: exact for combinational designs of any
+//!   width. The CNF machinery lives in `shell-sat`/`shell-verify` (this
+//!   crate sits below both), so the backend is *installed* at startup via
+//!   [`install_sat_backend`] — `shell_verify::install()` does it — and
+//!   [`Method::Sat`] reports [`EquivResult::Incomparable`] until then.
 //!
-//! SAT-based combinational equivalence (a miter) lives in `shell-attacks`,
-//! which owns the CNF machinery.
+//! All strategies share one shape-check ([`shape_check`]) and one
+//! counterexample report path, so a port-count or key-width mismatch is
+//! always an `Incomparable` (never a panic deep inside a simulator) and a
+//! mismatch is always reported with the full input assignment plus both
+//! output vectors.
+//!
+//! The historical free functions ([`equiv_exhaustive`], [`equiv_random`],
+//! [`equiv_sequential_random`]) remain as thin wrappers.
 
 use crate::netlist::Netlist;
 use crate::sim::Simulator;
+use std::sync::OnceLock;
 
 /// Outcome of an equivalence check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EquivResult {
-    /// No distinguishing pattern found (exact for exhaustive checks).
+    /// No distinguishing pattern found (exact for exhaustive/SAT checks).
     Equivalent,
-    /// A concrete input assignment on which the two designs differ.
+    /// A concrete input assignment on which the two designs differ. For
+    /// sequential checks `inputs` is the whole stimulus (cycle-major
+    /// concatenation of per-cycle input vectors) and `lhs`/`rhs` are the
+    /// outputs at the first diverging cycle.
     Counterexample {
         /// Primary-input assignment.
         inputs: Vec<bool>,
@@ -28,7 +44,9 @@ pub enum EquivResult {
         /// Outputs of the second design.
         rhs: Vec<bool>,
     },
-    /// The designs are structurally incomparable (port count mismatch).
+    /// The designs are structurally incomparable (port count or key width
+    /// mismatch), or the requested method cannot run (no SAT backend, a
+    /// combinational cycle, a solver budget exhausted).
     Incomparable(String),
 }
 
@@ -37,9 +55,66 @@ impl EquivResult {
     pub fn is_equivalent(&self) -> bool {
         matches!(self, EquivResult::Equivalent)
     }
+
+    /// `true` when the check produced a concrete distinguishing pattern.
+    pub fn is_counterexample(&self) -> bool {
+        matches!(self, EquivResult::Counterexample { .. })
+    }
 }
 
-fn check_shape(a: &Netlist, b: &Netlist) -> Option<EquivResult> {
+/// Equivalence-checking strategy selector for [`equiv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Every input pattern of a combinational pair (≤ 22 inputs).
+    Exhaustive,
+    /// Monte-Carlo vectors on a combinational pair.
+    Random {
+        /// Number of random vectors.
+        vectors: usize,
+        /// PRNG seed.
+        seed: u64,
+    },
+    /// Lockstep random simulation of a sequential pair from reset.
+    SequentialRandom {
+        /// Number of clock cycles.
+        cycles: usize,
+        /// PRNG seed.
+        seed: u64,
+    },
+    /// SAT miter through the installed backend ([`install_sat_backend`]).
+    Sat,
+}
+
+/// Signature of a pluggable SAT equivalence backend:
+/// `(lhs, rhs, lhs_key, rhs_key) → result`.
+pub type SatBackend = fn(&Netlist, &Netlist, &[bool], &[bool]) -> EquivResult;
+
+static SAT_BACKEND: OnceLock<SatBackend> = OnceLock::new();
+
+/// Installs the process-wide SAT equivalence backend used by
+/// [`Method::Sat`]. The first installation wins (subsequent calls return
+/// `false` and keep the original); installing the same function twice is
+/// reported as success.
+pub fn install_sat_backend(backend: SatBackend) -> bool {
+    SAT_BACKEND.set(backend).is_ok() || SAT_BACKEND.get() == Some(&backend)
+}
+
+/// `true` when a SAT backend has been installed.
+pub fn sat_backend_installed() -> bool {
+    SAT_BACKEND.get().is_some()
+}
+
+/// Checks that `a` and `b` are comparable: equal primary-input and output
+/// counts, and key vectors matching each design's key-input count. Returns
+/// the [`EquivResult::Incomparable`] to report, or `None` when the shapes
+/// line up. Every equivalence strategy — including the SAT backend in
+/// `shell-verify` — runs this exact check first.
+pub fn shape_check(
+    a: &Netlist,
+    b: &Netlist,
+    lhs_key: &[bool],
+    rhs_key: &[bool],
+) -> Option<EquivResult> {
     if a.inputs().len() != b.inputs().len() {
         return Some(EquivResult::Incomparable(format!(
             "input count {} vs {}",
@@ -54,49 +129,146 @@ fn check_shape(a: &Netlist, b: &Netlist) -> Option<EquivResult> {
             b.outputs().len()
         )));
     }
+    if lhs_key.len() != a.key_inputs().len() {
+        return Some(EquivResult::Incomparable(format!(
+            "lhs key width {} vs {} key inputs",
+            lhs_key.len(),
+            a.key_inputs().len()
+        )));
+    }
+    if rhs_key.len() != b.key_inputs().len() {
+        return Some(EquivResult::Incomparable(format!(
+            "rhs key width {} vs {} key inputs",
+            rhs_key.len(),
+            b.key_inputs().len()
+        )));
+    }
     None
 }
 
+/// The one counterexample report path: every strategy funnels a mismatch
+/// through here so the result always carries the distinguishing inputs and
+/// both output vectors.
+fn report(inputs: Vec<bool>, lhs: Vec<bool>, rhs: Vec<bool>) -> EquivResult {
+    debug_assert_ne!(lhs, rhs, "report called without a mismatch");
+    EquivResult::Counterexample { inputs, lhs, rhs }
+}
+
+/// Compares the designs on one combinational pattern, reporting through the
+/// shared path on mismatch.
+fn compare_pattern(
+    a: &Netlist,
+    b: &Netlist,
+    lhs_key: &[bool],
+    rhs_key: &[bool],
+    pattern: &[bool],
+) -> Option<EquivResult> {
+    let lhs = a.eval_comb_with_key(pattern, lhs_key);
+    let rhs = b.eval_comb_with_key(pattern, rhs_key);
+    if lhs != rhs {
+        Some(report(pattern.to_vec(), lhs, rhs))
+    } else {
+        None
+    }
+}
+
+/// Runs the selected equivalence [`Method`] on a pair of designs.
+///
+/// Key inputs of each design must be bound by the caller via
+/// `lhs_key` / `rhs_key` (pass `&[]` for unkeyed designs); a wrong key
+/// width is an [`EquivResult::Incomparable`], not a panic.
+///
+/// # Panics
+///
+/// Propagates the per-method limits: [`Method::Exhaustive`] panics on more
+/// than 22 inputs, and the combinational methods panic on sequential
+/// designs (use [`Method::SequentialRandom`] or the bounded unroller in
+/// `shell-verify`).
+pub fn equiv(
+    a: &Netlist,
+    b: &Netlist,
+    lhs_key: &[bool],
+    rhs_key: &[bool],
+    method: Method,
+) -> EquivResult {
+    if let Some(bad) = shape_check(a, b, lhs_key, rhs_key) {
+        return bad;
+    }
+    match method {
+        Method::Exhaustive => {
+            let n = a.inputs().len();
+            assert!(n <= 22, "exhaustive equivalence limited to 22 inputs");
+            assert!(a.is_combinational() && b.is_combinational());
+            // n == 0 still walks the single empty pattern: two constant
+            // circuits are compared on their (only) evaluation.
+            let mut pattern = vec![false; n];
+            for bits in 0..(1u64 << n) {
+                for (i, p) in pattern.iter_mut().enumerate() {
+                    *p = (bits >> i) & 1 == 1;
+                }
+                if let Some(cex) = compare_pattern(a, b, lhs_key, rhs_key, &pattern) {
+                    return cex;
+                }
+            }
+            EquivResult::Equivalent
+        }
+        Method::Random { vectors, seed } => {
+            assert!(a.is_combinational() && b.is_combinational());
+            let n = a.inputs().len();
+            let mut rng = XorShift::new(seed);
+            for _ in 0..vectors {
+                let pattern: Vec<bool> = (0..n).map(|_| rng.next_bool()).collect();
+                if let Some(cex) = compare_pattern(a, b, lhs_key, rhs_key, &pattern) {
+                    return cex;
+                }
+            }
+            EquivResult::Equivalent
+        }
+        Method::SequentialRandom { cycles, seed } => {
+            let n = a.inputs().len();
+            let mut rng = XorShift::new(seed);
+            let mut sim_a = Simulator::new(a);
+            let mut sim_b = Simulator::new(b);
+            let mut stimulus: Vec<bool> = Vec::new();
+            for _ in 0..cycles {
+                let pattern: Vec<bool> = (0..n).map(|_| rng.next_bool()).collect();
+                stimulus.extend_from_slice(&pattern);
+                let lhs = sim_a.step(&pattern, lhs_key);
+                let rhs = sim_b.step(&pattern, rhs_key);
+                if lhs != rhs {
+                    return report(stimulus, lhs, rhs);
+                }
+            }
+            EquivResult::Equivalent
+        }
+        Method::Sat => match SAT_BACKEND.get() {
+            Some(backend) => backend(a, b, lhs_key, rhs_key),
+            None => EquivResult::Incomparable(
+                "no SAT backend installed (call shell_verify::install first)".into(),
+            ),
+        },
+    }
+}
+
 /// Exhaustively compares two combinational netlists over all `2^n` input
-/// patterns. Key inputs of each design must be bound by the caller via
-/// `lhs_key` / `rhs_key` (pass `&[]` for unkeyed designs).
+/// patterns (wrapper over [`equiv`] with [`Method::Exhaustive`]).
 ///
 /// # Panics
 ///
 /// Panics if either design is sequential or has more than 22 primary inputs
-/// (use [`equiv_random`] instead).
+/// (use [`equiv_random`] or [`Method::Sat`] instead).
 pub fn equiv_exhaustive(
     a: &Netlist,
     b: &Netlist,
     lhs_key: &[bool],
     rhs_key: &[bool],
 ) -> EquivResult {
-    if let Some(bad) = check_shape(a, b) {
-        return bad;
-    }
-    let n = a.inputs().len();
-    assert!(n <= 22, "exhaustive equivalence limited to 22 inputs");
-    assert!(a.is_combinational() && b.is_combinational());
-    let mut pattern = vec![false; n];
-    for bits in 0..(1u64 << n) {
-        for (i, p) in pattern.iter_mut().enumerate() {
-            *p = (bits >> i) & 1 == 1;
-        }
-        let lhs = a.eval_comb_with_key(&pattern, lhs_key);
-        let rhs = b.eval_comb_with_key(&pattern, rhs_key);
-        if lhs != rhs {
-            return EquivResult::Counterexample {
-                inputs: pattern,
-                lhs,
-                rhs,
-            };
-        }
-    }
-    EquivResult::Equivalent
+    equiv(a, b, lhs_key, rhs_key, Method::Exhaustive)
 }
 
 /// Compares two combinational netlists on `vectors` uniformly random input
-/// patterns drawn from a deterministic xorshift stream seeded with `seed`.
+/// patterns drawn from a deterministic xorshift stream seeded with `seed`
+/// (wrapper over [`equiv`] with [`Method::Random`]).
 pub fn equiv_random(
     a: &Netlist,
     b: &Netlist,
@@ -105,31 +277,16 @@ pub fn equiv_random(
     vectors: usize,
     seed: u64,
 ) -> EquivResult {
-    if let Some(bad) = check_shape(a, b) {
-        return bad;
-    }
-    assert!(a.is_combinational() && b.is_combinational());
-    let n = a.inputs().len();
-    let mut rng = XorShift::new(seed);
-    for _ in 0..vectors {
-        let pattern: Vec<bool> = (0..n).map(|_| rng.next_bool()).collect();
-        let lhs = a.eval_comb_with_key(&pattern, lhs_key);
-        let rhs = b.eval_comb_with_key(&pattern, rhs_key);
-        if lhs != rhs {
-            return EquivResult::Counterexample {
-                inputs: pattern,
-                lhs,
-                rhs,
-            };
-        }
-    }
-    EquivResult::Equivalent
+    equiv(a, b, lhs_key, rhs_key, Method::Random { vectors, seed })
 }
 
-/// Lockstep random simulation of two sequential designs from reset.
+/// Lockstep random simulation of two sequential designs from reset
+/// (wrapper over [`equiv`] with [`Method::SequentialRandom`]).
 ///
 /// Both designs start with all-zero state; `cycles` random input vectors are
-/// applied to both and every cycle's outputs are compared.
+/// applied to both and every cycle's outputs are compared. On mismatch the
+/// counterexample's `inputs` carries the whole stimulus up to and including
+/// the diverging cycle.
 pub fn equiv_sequential_random(
     a: &Netlist,
     b: &Netlist,
@@ -138,26 +295,7 @@ pub fn equiv_sequential_random(
     cycles: usize,
     seed: u64,
 ) -> EquivResult {
-    if let Some(bad) = check_shape(a, b) {
-        return bad;
-    }
-    let n = a.inputs().len();
-    let mut rng = XorShift::new(seed);
-    let mut sim_a = Simulator::new(a);
-    let mut sim_b = Simulator::new(b);
-    for _ in 0..cycles {
-        let pattern: Vec<bool> = (0..n).map(|_| rng.next_bool()).collect();
-        let lhs = sim_a.step(&pattern, lhs_key);
-        let rhs = sim_b.step(&pattern, rhs_key);
-        if lhs != rhs {
-            return EquivResult::Counterexample {
-                inputs: pattern,
-                lhs,
-                rhs,
-            };
-        }
-    }
-    EquivResult::Equivalent
+    equiv(a, b, lhs_key, rhs_key, Method::SequentialRandom { cycles, seed })
 }
 
 /// Minimal deterministic PRNG so this crate stays dependency-free.
@@ -248,6 +386,54 @@ mod tests {
     }
 
     #[test]
+    fn key_width_mismatch_incomparable_not_panic() {
+        // and2 has no key inputs: a non-empty key vector is a shape error
+        // surfaced as Incomparable through the shared shape check.
+        match equiv_exhaustive(&and2(), &or2(), &[true], &[]) {
+            EquivResult::Incomparable(msg) => assert!(msg.contains("key width"), "{msg}"),
+            other => panic!("expected Incomparable, got {other:?}"),
+        }
+        match equiv_random(&and2(), &or2(), &[], &[true, false], 16, 1) {
+            EquivResult::Incomparable(msg) => assert!(msg.contains("key width"), "{msg}"),
+            other => panic!("expected Incomparable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_zero_input_circuits() {
+        // Constant circuits have n = 0: the single empty pattern still
+        // distinguishes them, and the counterexample reports empty inputs
+        // with the differing output vectors.
+        let konst = |v: bool, name: &str| {
+            let mut n = Netlist::new(name);
+            let c = n.add_cell("c", CellKind::Const(v), vec![]);
+            n.add_output("f", c);
+            n
+        };
+        assert!(equiv_exhaustive(&konst(true, "t"), &konst(true, "t2"), &[], &[])
+            .is_equivalent());
+        match equiv_exhaustive(&konst(true, "t"), &konst(false, "f"), &[], &[]) {
+            EquivResult::Counterexample { inputs, lhs, rhs } => {
+                assert!(inputs.is_empty());
+                assert_eq!(lhs, vec![true]);
+                assert_eq!(rhs, vec![false]);
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_zero_output_circuits_equivalent() {
+        // No outputs ⇒ nothing observable ⇒ equivalent.
+        let mut a = Netlist::new("a");
+        a.add_input("x");
+        let mut b = Netlist::new("b");
+        let xb = b.add_input("x");
+        b.add_cell("inv", CellKind::Not, vec![xb]);
+        assert!(equiv_exhaustive(&a, &b, &[], &[]).is_equivalent());
+    }
+
+    #[test]
     fn keyed_equivalence_depends_on_key() {
         // locked: f = (a AND b) XOR k
         let mut locked = Netlist::new("locked");
@@ -289,6 +475,52 @@ mod tests {
         }
         assert!(!equiv_sequential_random(&t1, &t2, &[], &[], 8, 7).is_equivalent());
         assert!(equiv_sequential_random(&t1, &t1.clone(), &[], &[], 8, 7).is_equivalent());
+    }
+
+    #[test]
+    fn sequential_counterexample_carries_full_stimulus() {
+        // q' = d (one-cycle delay) vs combinational passthrough wrapped in
+        // a DFF-equal design: diverges at cycle 0 for d=1... build two
+        // delays of different depth instead: q' = d vs q'' = q' (2-cycle).
+        let delay1 = {
+            let mut n = Netlist::new("d1");
+            let d = n.add_input("d");
+            let q = n.add_cell("ff", CellKind::Dff, vec![d]);
+            n.add_output("q", q);
+            n
+        };
+        let delay2 = {
+            let mut n = Netlist::new("d2");
+            let d = n.add_input("d");
+            let q1 = n.add_cell("ff1", CellKind::Dff, vec![d]);
+            let q2 = n.add_cell("ff2", CellKind::Dff, vec![q1]);
+            n.add_output("q", q2);
+            n
+        };
+        match equiv_sequential_random(&delay1, &delay2, &[], &[], 16, 3) {
+            EquivResult::Counterexample { inputs, lhs, rhs } => {
+                // One input bit per cycle: stimulus length = diverging cycle
+                // index + 1, and the final cycle's outputs differ.
+                assert!(!inputs.is_empty());
+                assert_ne!(lhs, rhs);
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sat_method_without_backend_is_incomparable() {
+        // The backend registry is process-global; this test only asserts
+        // the uninstalled message shape when nothing was installed yet, and
+        // otherwise that Sat dispatches somewhere.
+        match equiv(&and2(), &and2_via_nand(), &[], &[], Method::Sat) {
+            EquivResult::Equivalent => assert!(sat_backend_installed()),
+            EquivResult::Incomparable(msg) => {
+                assert!(!sat_backend_installed());
+                assert!(msg.contains("SAT backend"), "{msg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@ use crate::place::{self, Slot};
 use crate::route::{RouteRequest, Router, SinkKind, SourceKind};
 use shell_fabric::{Bitstream, Fabric, FabricConfig, FabricUsage, IoMap};
 use shell_netlist::equiv::{
-    equiv_exhaustive, equiv_random, equiv_sequential_random, EquivResult,
+    equiv, equiv_exhaustive, equiv_random, equiv_sequential_random, sat_backend_installed,
+    EquivResult, Method,
 };
 use shell_netlist::{CellId, CellKind, NetId, Netlist};
 use shell_synth::lut_map_hybrid;
@@ -891,6 +892,17 @@ fn verify(reference: &Netlist, result: &PnrResult) -> Result<(), PnrError> {
         equiv_sequential_random(reference, &configured, &[], &[], 64, 0xE0)
     } else if reference.inputs().len() <= 12 {
         equiv_exhaustive(reference, &configured, &[], &[])
+    } else if sat_backend_installed() {
+        // Wide combinational cone and a SAT backend is registered (see
+        // `shell_verify::install`): a miter proof replaces sampling.
+        match equiv(reference, &configured, &[], &[], Method::Sat) {
+            // Budget exhaustion or unsupported structure: fall back to
+            // Monte Carlo rather than failing the flow.
+            EquivResult::Incomparable(_) => {
+                equiv_random(reference, &configured, &[], &[], 512, 0xE0)
+            }
+            decided => decided,
+        }
     } else {
         equiv_random(reference, &configured, &[], &[], 512, 0xE0)
     };

@@ -11,7 +11,10 @@
 //!   time out the way the paper's 48-hour limit does),
 //! * [`tseitin`] — the Tseitin transformation from a combinational
 //!   [`shell_netlist::Netlist`] to CNF, with variable maps for primary
-//!   inputs, key inputs and outputs (the raw material of the attack miter).
+//!   inputs, key inputs and outputs (the raw material of the attack miter),
+//! * [`miter`] — the shared miter construction over two encoded copies:
+//!   the SAT attack's DIP mining and `shell-verify`'s equivalence proofs
+//!   both build on [`encode_miter`].
 //!
 //! # Example
 //!
@@ -31,9 +34,11 @@
 //! ```
 
 pub mod cnf;
+pub mod miter;
 pub mod solver;
 pub mod tseitin;
 
 pub use cnf::{Cnf, Lit, Var};
+pub use miter::{constrain_some_output_differs, encode_miter, Miter};
 pub use solver::{SatResult, Solver, SolverStats};
 pub use tseitin::{encode_netlist, CircuitCnf};

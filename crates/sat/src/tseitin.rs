@@ -211,8 +211,8 @@ fn encode_cell(solver: &mut Solver, kind: CellKind, ins: &[Var], out: Var) {
     }
 }
 
-/// `t = a ⊕ b` in four clauses.
-fn encode_xor2(solver: &mut Solver, a: Var, b: Var, t: Var) {
+/// `t = a ⊕ b` in four clauses (shared with the miter construction).
+pub(crate) fn encode_xor2(solver: &mut Solver, a: Var, b: Var, t: Var) {
     solver.add_clause(&[Lit::neg(a), Lit::neg(b), Lit::neg(t)]);
     solver.add_clause(&[Lit::pos(a), Lit::pos(b), Lit::neg(t)]);
     solver.add_clause(&[Lit::pos(a), Lit::neg(b), Lit::pos(t)]);

@@ -24,5 +24,5 @@ pub mod rng;
 
 pub use bench::{Bench, BenchReport};
 pub use json::Json;
-pub use prop::{forall, Shrink};
+pub use prop::{forall, shrink_to_minimal, Shrink};
 pub use rng::{split_mix64, Rng};

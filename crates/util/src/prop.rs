@@ -138,7 +138,7 @@ where
         let mut rng = Rng::seed_from_u64(sub_seed);
         let input = generate(&mut rng);
         if let Err(reason) = check(&input) {
-            let (minimal, min_reason, steps) = shrink_failure(input, reason, &check);
+            let (minimal, min_reason, steps) = shrink_to_minimal(input, reason, &check);
             panic!(
                 "property `{name}` failed (root seed {seed:#x}, case {case}/{cases}, \
                  sub-seed {sub_seed:#x}, {steps} shrink steps)\n  reason: {min_reason}\n  \
@@ -151,7 +151,13 @@ where
 
 /// Greedy shrink loop: repeatedly adopt the first simpler candidate that
 /// still fails, until no candidate fails or the budget runs out.
-fn shrink_failure<T, C>(mut input: T, mut reason: String, check: &C) -> (T, String, usize)
+///
+/// `input` must already fail `check` with `reason`. Returns the minimal
+/// failing input, its failure reason, and the number of shrink steps taken.
+/// This is the same loop [`forall`] runs on a failing case; it is public so
+/// other harnesses (e.g. the `shell-verify` differential fuzzer) can shrink
+/// their own counterexamples with identical semantics.
+pub fn shrink_to_minimal<T, C>(mut input: T, mut reason: String, check: &C) -> (T, String, usize)
 where
     T: Shrink + Clone,
     C: Fn(&T) -> Result<(), String>,

@@ -50,4 +50,27 @@ SHELL_JOBS=4 cargo test -q --offline
 echo "== cargo build --offline --benches --examples --bins =="
 cargo build -q --offline --benches --examples --bins
 
+# Differential-fuzz smoke: the full lock pipeline, stage boundaries
+# miter-checked, at two job counts. Zero mismatches is correctness; the
+# byte-identical reports are the determinism contract (the fuzz report
+# deliberately carries no job count or timestamp).
+echo "== fuzz smoke: 32 samples, SHELL_JOBS=1 vs 4, reports must match =="
+fuzz_j1=$(mktemp)
+fuzz_j4=$(mktemp)
+trap 'rm -f "$fuzz_j1" "$fuzz_j4"' EXIT
+SHELL_JOBS=1 cargo run -q --release --offline --bin fuzz -- \
+    --samples 32 --seed 7 --no-artifacts --out "$fuzz_j1"
+SHELL_JOBS=4 cargo run -q --release --offline --bin fuzz -- \
+    --samples 32 --seed 7 --no-artifacts --out "$fuzz_j4"
+grep -q '"mismatches": 0' "$fuzz_j1" || {
+    echo "fuzz smoke found mismatches:" >&2
+    grep '"mismatches"' "$fuzz_j1" >&2
+    exit 1
+}
+cmp "$fuzz_j1" "$fuzz_j4" || {
+    echo "fuzz reports differ between SHELL_JOBS=1 and 4" >&2
+    exit 1
+}
+echo "ok"
+
 echo "verify: all green (hermetic)"
