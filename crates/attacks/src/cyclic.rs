@@ -8,6 +8,7 @@
 //! baselines accept and SheLL's shrinking step removes.
 
 use shell_graph::{strongly_connected_components, DiGraph};
+use shell_guard::{Budget, Exhausted};
 use shell_netlist::{CellId, CellKind, NetId, Netlist};
 
 /// Outcome of the reduction.
@@ -28,12 +29,30 @@ pub struct CyclicReductionReport {
 /// The victim choice prefers mux *data* pins (cutting a select would corrupt
 /// far more configurations than cutting one data path).
 pub fn cyclic_reduction(locked: &Netlist) -> CyclicReductionReport {
+    cyclic_reduction_budgeted(locked, &Budget::unlimited())
+        .expect("an unlimited budget cannot exhaust")
+}
+
+/// [`cyclic_reduction`] under a [`Budget`]: one quota step is spent per cut
+/// edge, and the deadline/cancellation flag is polled once per SCC round
+/// (each round recomputes the strongly connected components — the expensive
+/// part of the loop).
+///
+/// # Errors
+///
+/// Returns the [`Exhausted`] reason when the budget runs out before the
+/// netlist is acyclic.
+pub fn cyclic_reduction_budgeted(
+    locked: &Netlist,
+    budget: &Budget,
+) -> Result<CyclicReductionReport, Exhausted> {
     let mut netlist = locked.clone();
     let mut edges_cut = 0usize;
     let mut cycles_found = 0usize;
     let mut zero: Option<NetId> = None;
     // Bounded: every iteration cuts at least one edge.
     for _round in 0..netlist.cell_count().max(1) {
+        budget.checkpoint()?;
         let sccs = cyclic_components(&netlist);
         if sccs.is_empty() {
             break;
@@ -74,6 +93,7 @@ pub fn cyclic_reduction(locked: &Netlist) -> CyclicReductionReport {
                 }
             }
             if let Some((cid, pin)) = victim {
+                budget.spend(1)?;
                 let z = *zero.get_or_insert_with(|| {
                     netlist.add_cell("cyc_tie0", CellKind::Const(false), vec![])
                 });
@@ -82,11 +102,11 @@ pub fn cyclic_reduction(locked: &Netlist) -> CyclicReductionReport {
             }
         }
     }
-    CyclicReductionReport {
+    Ok(CyclicReductionReport {
         netlist,
         edges_cut,
         cycles_found,
-    }
+    })
 }
 
 /// Cyclic SCCs (size > 1 or self-loop) of the combinational cell graph.
@@ -198,6 +218,27 @@ mod tests {
         assert!(r.netlist.topo_order().is_ok());
         assert_eq!(r.cycles_found, 3);
         assert!(r.edges_cut >= 3);
+    }
+
+    #[test]
+    fn budgeted_reduction_exhausts_with_typed_error() {
+        use shell_guard::{Budget, Exhausted};
+        let mut n = Netlist::new("many");
+        let a = n.add_input("a");
+        for i in 0..3 {
+            let k = n.add_key_input(format!("k{i}"));
+            let t0 = n.add_net(format!("t0_{i}"));
+            let t1 = n.add_net(format!("t1_{i}"));
+            n.add_cell_driving(format!("m0_{i}"), CellKind::Mux2, vec![k, a, t1], t0)
+                .unwrap();
+            n.add_cell_driving(format!("m1_{i}"), CellKind::Mux2, vec![k, a, t0], t1)
+                .unwrap();
+            n.add_output(format!("f{i}"), t1);
+        }
+        let r = cyclic_reduction_budgeted(&n, &Budget::unlimited().with_quota(1));
+        assert_eq!(r.err(), Some(Exhausted::Quota));
+        let ok = cyclic_reduction_budgeted(&n, &Budget::unlimited().with_quota(16)).unwrap();
+        assert!(ok.netlist.topo_order().is_ok());
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub mod removal;
 pub mod sat_attack;
 pub mod structural;
 
-pub use cyclic::{cyclic_reduction, CyclicReductionReport};
+pub use cyclic::{cyclic_reduction, cyclic_reduction_budgeted, CyclicReductionReport};
 pub use removal::{removal_attack, RemovalOutcome};
-pub use sat_attack::{sat_attack, scan_frame, SatAttackOptions, SatAttackOutcome};
-pub use structural::{structural_mux_attack, StructuralReport};
+pub use sat_attack::{
+    sat_attack, sat_attack_report, scan_frame, AttackCheckpoint, AttackReport, SatAttackOptions,
+    SatAttackOutcome, DEFAULT_CONFLICT_QUOTA,
+};
+pub use structural::{structural_mux_attack, structural_mux_attack_budgeted, StructuralReport};

@@ -14,6 +14,7 @@
 //! one. The report compares guesses against the true key.
 
 use shell_graph::{bfs_distances, DiGraph, NodeId};
+use shell_guard::{Budget, Exhausted};
 use shell_netlist::{CellKind, Netlist};
 use std::collections::HashSet;
 
@@ -37,6 +38,28 @@ pub struct StructuralReport {
 ///
 /// Panics when `true_key` length differs from the key count.
 pub fn structural_mux_attack(locked: &Netlist, true_key: &[bool]) -> StructuralReport {
+    structural_mux_attack_budgeted(locked, true_key, &Budget::unlimited())
+        .expect("an unlimited budget cannot exhaust")
+}
+
+/// [`structural_mux_attack`] under a [`Budget`]: one quota step is spent per
+/// analyzed key mux (spent up front, in deterministic cell order, so the
+/// exhaustion point is identical at any `SHELL_JOBS`), and the deadline /
+/// cancellation flag is polled per mux.
+///
+/// # Errors
+///
+/// Returns the [`Exhausted`] reason when the budget runs out before every
+/// key mux has been admitted.
+///
+/// # Panics
+///
+/// Panics when `true_key` length differs from the key count.
+pub fn structural_mux_attack_budgeted(
+    locked: &Netlist,
+    true_key: &[bool],
+    budget: &Budget,
+) -> Result<StructuralReport, Exhausted> {
     assert_eq!(
         true_key.len(),
         locked.key_inputs().len(),
@@ -70,6 +93,11 @@ pub fn structural_mux_attack(locked: &Netlist, true_key: &[bool]) -> StructuralR
         .filter_map(|(cid, c)| key_of_net.get(&c.inputs[0]).map(|&ki| (cid, ki)))
         .collect();
     let key_muxes = mux_jobs.len();
+    // Admit jobs against the budget *sequentially* before the parallel
+    // scoring pass: the exhaustion point depends only on the job order.
+    for _ in &mux_jobs {
+        budget.spend(1)?;
+    }
     let scored: Vec<(usize, bool)> = shell_exec::parallel_map(&mux_jobs, |&(cid, key_idx)| {
         let c = locked.cell(cid);
         // Candidates: data pin 1 (selected by key = 0) vs pin 2 (key = 1).
@@ -133,11 +161,11 @@ pub fn structural_mux_attack(locked: &Netlist, true_key: &[bool]) -> StructuralR
     } else {
         correct as f64 / analyzed.len() as f64
     };
-    StructuralReport {
+    Ok(StructuralReport {
         key_muxes,
         guesses,
         accuracy,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -228,5 +256,20 @@ mod tests {
     fn wrong_key_width_panics() {
         let (locked, _) = localized_mux_lock(2);
         structural_mux_attack(&locked, &[true]);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_typed() {
+        use shell_guard::{Budget, Exhausted};
+        let (locked, key) = localized_mux_lock(8);
+        let b = Budget::unlimited().with_quota(3);
+        assert_eq!(
+            structural_mux_attack_budgeted(&locked, &key, &b),
+            Err(Exhausted::Quota)
+        );
+        // A sufficient quota matches the unbudgeted run exactly.
+        let full = structural_mux_attack_budgeted(&locked, &key, &Budget::unlimited().with_quota(8))
+            .unwrap();
+        assert_eq!(full, structural_mux_attack(&locked, &key));
     }
 }

@@ -52,7 +52,7 @@ fn main() {
     // truth tables).
     let xbar = axi_xbar(8, 4);
     pairs.push(run_pair("lut_map/xbar8x4_k4", par_jobs, 2, 9, || {
-        lut_map(&xbar, 4).lut_count
+        lut_map(&xbar, 4).expect("acyclic").lut_count
     }));
 
     // Kernel 3: structural mux attack (parallel per-mux scoring).

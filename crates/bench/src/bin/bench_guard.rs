@@ -1,0 +1,81 @@
+//! Checkpoint-overhead medians of the shell-guard budget.
+//!
+//! Measures what the governance layer costs where it is actually polled:
+//! the raw `checkpoint()`/`spend()` fast paths (two relaxed atomic loads; a
+//! deadline consults the clock every 64th poll), and a real CDCL solve with
+//! and without a budget attached. Writes `results/BENCH_guard.json`.
+
+use shell_bench::write_results_json;
+use shell_guard::Budget;
+use shell_sat::{Lit, SatResult, Solver, Var};
+use shell_util::{Bench, Json};
+
+/// A pigeonhole instance (n+1 pigeons, n holes): small but conflict-heavy,
+/// so the solver's budget poll sits on a hot loop.
+fn pigeonhole(s: &mut Solver, pigeons: usize, holes: usize) -> Vec<Vec<Var>> {
+    let vars: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &vars {
+        let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for a in 0..pigeons {
+            for b in (a + 1)..pigeons {
+                s.add_clause(&[Lit::neg(vars[a][h]), Lit::neg(vars[b][h])]);
+            }
+        }
+    }
+    vars
+}
+
+fn solve_pigeonhole(budget: Option<Budget>) -> SatResult {
+    let mut s = Solver::new();
+    pigeonhole(&mut s, 8, 7);
+    s.set_budget(budget);
+    s.solve()
+}
+
+fn main() {
+    let mut bench = Bench::new(2, 9);
+
+    // Fast paths, amortized over a million polls per iteration.
+    let unlimited = Budget::unlimited();
+    bench.run("checkpoint_unlimited_1M", || {
+        for _ in 0..1_000_000 {
+            unlimited.checkpoint().expect("unlimited");
+        }
+    });
+    let deadline = Budget::unlimited().with_deadline(std::time::Duration::from_secs(3600));
+    bench.run("checkpoint_deadline_1M", || {
+        for _ in 0..1_000_000 {
+            deadline.checkpoint().expect("far deadline");
+        }
+    });
+    bench.run("spend_quota_1M", || {
+        let quota = Budget::unlimited().with_quota(u64::MAX / 2);
+        for _ in 0..1_000_000 {
+            quota.spend(1).expect("huge quota");
+        }
+    });
+
+    // A conflict-heavy UNSAT solve: the budget poll rides the conflict
+    // loop, so the with/without delta is the real-world overhead.
+    bench.run("solve_php8_unguarded", || {
+        assert_eq!(solve_pigeonhole(None), SatResult::Unsat);
+    });
+    bench.run("solve_php8_guarded", || {
+        assert_eq!(
+            solve_pigeonhole(Some(Budget::unlimited())),
+            SatResult::Unsat
+        );
+    });
+
+    for report in bench.reports() {
+        println!("{}", report.line());
+    }
+    let json = Json::Arr(bench.reports().iter().map(|r| r.to_json()).collect());
+    let path = write_results_json("BENCH_guard", &json).expect("write results");
+    println!("wrote {path}");
+}

@@ -16,7 +16,7 @@ fn main() {
     // desX stand-in: a wide crossbar whose LUT mapping needs a mid-size
     // grid (the paper's desX is likewise an arbitrary mid-size design).
     let desx = axi_xbar(8, 6);
-    let mapped = lut_map(&desx, 4).netlist;
+    let mapped = lut_map(&desx, 4).expect("acyclic").netlist;
     println!(
         "desX stand-in: 8x6 crossbar, {} cells -> {} LUT-mapped cells",
         desx.cell_count(),

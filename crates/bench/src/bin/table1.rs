@@ -29,13 +29,13 @@ fn main() {
     let opts = PnrOptions::default();
 
     let open = place_and_route(
-        &lut_map(&xbar, 4).netlist,
+        &lut_map(&xbar, 4).expect("acyclic").netlist,
         FabricConfig::openfpga_style(),
         &opts,
     )
     .expect("OpenFPGA flow maps");
     let fab_std = place_and_route(
-        &lut_map(&xbar, 4).netlist,
+        &lut_map(&xbar, 4).expect("acyclic").netlist,
         FabricConfig::fabulous_style(false),
         &opts,
     )

@@ -8,6 +8,7 @@
 
 use shell_attacks::{cyclic_reduction, sat_attack, scan_frame, SatAttackOptions, SatAttackOutcome};
 use shell_circuits::Scale;
+use shell_guard::Budget;
 use shell_lock::RedactionOutcome;
 use shell_netlist::Netlist;
 use shell_util::Json;
@@ -23,9 +24,10 @@ pub fn eval_scale() -> Scale {
 pub fn attack_budget() -> SatAttackOptions {
     SatAttackOptions {
         max_iterations: 24,
-        conflict_budget: Some(150_000),
+        budget: Budget::unlimited().with_quota(150_000),
         verify_key: true,
         verify_vectors: 128,
+        ..SatAttackOptions::default()
     }
 }
 
@@ -248,7 +250,7 @@ mod tests {
     fn attack_budget_is_bounded() {
         let b = attack_budget();
         assert!(b.max_iterations <= 64);
-        assert!(b.conflict_budget.unwrap_or(0) > 0);
+        assert!(b.budget.remaining_quota().unwrap_or(0) > 0);
         assert!(b.verify_key);
     }
 }

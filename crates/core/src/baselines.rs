@@ -92,15 +92,19 @@ pub fn redact_baseline(
     match case {
         BaselineCase::NoStrategyOpenFpga | BaselineCase::FilteringOpenFpga => {
             // Everything — ROUTE included — goes through LUT mapping.
-            let mapped = lut_map(&partition.sub, 4).netlist;
+            let mapped = lut_map(&partition.sub, 4)
+                .map_err(|e| PnrError::Unsupported(e.to_string()))?
+                .netlist;
             let pnr = place_and_route(&mapped, FabricConfig::openfpga_style(), &options.pnr)?;
-            finish(design, partition, pnr, true)
+            finish(design, partition, pnr, true, Vec::new())
         }
         BaselineCase::NoStrategyFabulous => {
-            let mapped = lut_map(&partition.sub, 4).netlist;
+            let mapped = lut_map(&partition.sub, 4)
+                .map_err(|e| PnrError::Unsupported(e.to_string()))?
+                .netlist;
             let pnr =
                 place_and_route(&mapped, FabricConfig::fabulous_style(false), &options.pnr)?;
-            finish(design, partition, pnr, true)
+            finish(design, partition, pnr, true, Vec::new())
         }
         BaselineCase::Shell => {
             let pnr = place_and_route_with_chains(
@@ -108,7 +112,7 @@ pub fn redact_baseline(
                 FabricConfig::fabulous_style(true),
                 &options.pnr,
             )?;
-            finish(design, partition, pnr, options.skip_shrink)
+            finish(design, partition, pnr, options.skip_shrink, Vec::new())
         }
     }
 }

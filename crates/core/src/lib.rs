@@ -41,7 +41,7 @@ pub use explore::{corruption_rate, optimize_coefficients};
 pub use overhead::{evaluate_overhead, Overhead};
 pub use pipeline::{
     activate, activate_with_key, shell_lock, shell_lock_cells, shell_lock_design,
-    RedactionOutcome, ShellOptions,
+    AttemptRecord, RedactionOutcome, ShellOptions,
 };
 pub use score::{score_cells, CellScore, Coefficients};
 pub use select::{select_subcircuit, SelectionOptions, SelectionResult};

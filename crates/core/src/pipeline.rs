@@ -16,7 +16,7 @@ use shell_netlist::{CellId, Netlist};
 use shell_pnr::{place_and_route_with_chains, PnrError, PnrOptions};
 
 /// Options of the SheLL flow.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ShellOptions {
     /// Selection knobs (coefficients, budgets, LGC depth).
     pub selection: SelectionOptions,
@@ -24,6 +24,35 @@ pub struct ShellOptions {
     pub pnr: PnrOptions,
     /// Skip step 8 (for the shrink ablation).
     pub skip_shrink: bool,
+    /// Rungs of the retry ladder wrapped around the mapping flow: when PnR
+    /// reports `DoesNotFit`/`Unroutable`, the flow retries with relaxed
+    /// knobs (wider channels → more fabric-expansion headroom → more
+    /// placement starts) instead of giving up. `1` disables retries.
+    pub max_ladder_attempts: usize,
+}
+
+impl Default for ShellOptions {
+    fn default() -> Self {
+        Self {
+            selection: SelectionOptions::default(),
+            pnr: PnrOptions::default(),
+            skip_shrink: false,
+            max_ladder_attempts: 4,
+        }
+    }
+}
+
+/// One rung of the retry ladder: what was tried and how it ended. Serialized
+/// into results JSON so a report shows *how* a design fit, not only that it
+/// did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// 1-based ladder rung.
+    pub attempt: usize,
+    /// The knob change this rung applied (`"baseline"` for the first).
+    pub action: String,
+    /// `"ok"` or the PnR error message.
+    pub outcome: String,
 }
 
 /// A finished redaction: any of the four cases produces this.
@@ -48,6 +77,10 @@ pub struct RedactionOutcome {
     pub shrunk: bool,
     /// Key length before shrinking (all config bits).
     pub key_bits_before_shrink: usize,
+    /// The fit ladder's journal: one record per mapping attempt.
+    pub attempts: Vec<AttemptRecord>,
+    /// Budget-degraded stages, propagated from [`shell_pnr::PnrResult`].
+    pub degraded: Vec<String>,
 }
 
 impl RedactionOutcome {
@@ -98,8 +131,70 @@ pub fn shell_lock_cells(
 ) -> Result<RedactionOutcome, PnrError> {
     let partition = partition_by_cells(design, cells);
     let config = FabricConfig::fabulous_style(true);
-    let pnr = place_and_route_with_chains(&partition.sub, config, &options.pnr)?;
-    finish(design, partition, pnr, options.skip_shrink)
+    let (pnr, attempts) = map_with_ladder(&partition.sub, config, options)?;
+    finish(design, partition, pnr, options.skip_shrink, attempts)
+}
+
+/// The retry ladder around the mapping flow. Fit failures escalate one knob
+/// per rung — wider routing channels, then more fabric-expansion headroom,
+/// then more placement starts — and every attempt lands in the journal.
+/// Budget exhaustion and structural errors abort immediately: no knob fixes
+/// a spent deadline or an unsupported netlist.
+fn map_with_ladder(
+    sub: &Netlist,
+    mut config: FabricConfig,
+    options: &ShellOptions,
+) -> Result<(shell_pnr::PnrResult, Vec<AttemptRecord>), PnrError> {
+    let mut pnr_options = options.pnr.clone();
+    let mut attempts = Vec::new();
+    let mut action = String::from("baseline");
+    let rungs = options.max_ladder_attempts.max(1);
+    for attempt in 1..=rungs {
+        match place_and_route_with_chains(sub, config.clone(), &pnr_options) {
+            Ok(result) => {
+                attempts.push(AttemptRecord {
+                    attempt,
+                    action,
+                    outcome: "ok".into(),
+                });
+                return Ok((result, attempts));
+            }
+            Err(err @ (PnrError::DoesNotFit(_) | PnrError::Unroutable(_))) => {
+                attempts.push(AttemptRecord {
+                    attempt,
+                    action: std::mem::take(&mut action),
+                    outcome: err.to_string(),
+                });
+                if attempt == rungs {
+                    return Err(err);
+                }
+                match attempt {
+                    1 => {
+                        config.channel_width += 4;
+                        action = format!("channel_width -> {}", config.channel_width);
+                    }
+                    2 => {
+                        pnr_options.max_fit_attempts += 8;
+                        action =
+                            format!("max_fit_attempts -> {}", pnr_options.max_fit_attempts);
+                    }
+                    _ => {
+                        pnr_options.place_starts += 2;
+                        action = format!("place_starts -> {}", pnr_options.place_starts);
+                    }
+                }
+            }
+            Err(err) => {
+                attempts.push(AttemptRecord {
+                    attempt,
+                    action,
+                    outcome: err.to_string(),
+                });
+                return Err(err);
+            }
+        }
+    }
+    unreachable!("ladder loop returns on its last rung")
 }
 
 /// Shared tail of every redaction flow: emit the locked fabric netlist,
@@ -109,6 +204,7 @@ pub(crate) fn finish(
     partition: RedactionPartition,
     pnr: shell_pnr::PnrResult,
     skip_shrink: bool,
+    attempts: Vec<AttemptRecord>,
 ) -> Result<RedactionOutcome, PnrError> {
     let locked_fabric = to_locked_netlist(&pnr.fabric, &pnr.io_map);
     let key_bits_before_shrink = locked_fabric.key_inputs().len();
@@ -138,6 +234,8 @@ pub(crate) fn finish(
         utilization: pnr.utilization,
         shrunk,
         key_bits_before_shrink,
+        attempts,
+        degraded: pnr.degraded,
     })
 }
 

@@ -1,0 +1,30 @@
+//! `shell-guard` — resource governance for every long-running engine.
+//!
+//! The repo's security argument (SheLL §5) is a *time* argument: the
+//! defender finishes PnR while the attacker's SAT loop blows its budget.
+//! Yet nothing in the flow modelled a budget until this crate: the solver
+//! had an ad-hoc conflict cap, the router and SA placer ran open-loop, and
+//! cancellation did not exist. [`Budget`] fixes that with one shared token:
+//!
+//! * a **step quota** (conflicts, moves, iterations — whatever the engine
+//!   counts), decremented with [`Budget::spend`];
+//! * an optional **wall-clock deadline**, polled lazily so the fast path
+//!   stays a couple of atomic ops;
+//! * a **cooperative cancellation flag**, set from any thread with
+//!   [`Budget::cancel`].
+//!
+//! Engines call [`Budget::checkpoint`] in their inner loop and surface
+//! [`Exhausted`] instead of looping forever. Clones share state: handing a
+//! clone to a worker and cancelling the original stops the worker too.
+//!
+//! Determinism contract: quota and cancellation are exact (same spend
+//! sequence ⇒ same exhaustion point at any `SHELL_JOBS`). Deadlines are
+//! inherently wall-clock and therefore non-deterministic; anything that
+//! must produce byte-identical reports (tests, fuzz campaigns) uses quota
+//! or cancellation, never a deadline.
+
+#![warn(missing_docs)]
+
+pub mod budget;
+
+pub use budget::{Budget, Exhausted};

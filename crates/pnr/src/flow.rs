@@ -3,8 +3,9 @@
 //! verification.
 
 use crate::place::{self, Slot};
-use crate::route::{RouteRequest, Router, SinkKind, SourceKind};
+use crate::route::{RouteError, RouteRequest, Router, SinkKind, SourceKind};
 use shell_fabric::{Bitstream, Fabric, FabricConfig, FabricUsage, IoMap};
+use shell_guard::Budget;
 use shell_netlist::equiv::{
     equiv, equiv_exhaustive, equiv_random, equiv_sequential_random, sat_backend_installed,
     EquivResult, Method,
@@ -30,6 +31,11 @@ pub struct PnrOptions {
     pub place_starts: usize,
     /// Verify the configured fabric against the input netlist.
     pub verify: bool,
+    /// Shared resource budget. Placement polls it and degrades to its
+    /// best-so-far configuration; routing and the fit loop abort with
+    /// [`PnrError::Exhausted`]. Defaults to [`Budget::from_env`], so
+    /// `SHELL_DEADLINE_MS` bounds a whole flow end to end.
+    pub budget: Budget,
 }
 
 impl Default for PnrOptions {
@@ -40,6 +46,7 @@ impl Default for PnrOptions {
             max_fit_attempts: 18,
             place_starts: 2,
             verify: true,
+            budget: Budget::from_env(),
         }
     }
 }
@@ -53,6 +60,14 @@ pub enum PnrError {
     Pack(String),
     /// No fabric size within the attempt budget could fit the design.
     DoesNotFit(String),
+    /// A net could not be routed legally within the iteration limit; the
+    /// fit loop treats this as congestion and expands the fabric, so it
+    /// only escapes when every size within the attempt budget failed.
+    Unroutable(String),
+    /// The shared [`Budget`] ran out (deadline, quota or cancellation)
+    /// before the flow could finish; retrying without more budget is
+    /// pointless, so the fit loop aborts immediately.
+    Exhausted(String),
     /// The configured fabric does not match the input netlist.
     VerificationFailed(String),
 }
@@ -63,6 +78,8 @@ impl fmt::Display for PnrError {
             PnrError::Unsupported(m) => write!(f, "unsupported input: {m}"),
             PnrError::Pack(m) => write!(f, "packing failed: {m}"),
             PnrError::DoesNotFit(m) => write!(f, "design does not fit: {m}"),
+            PnrError::Unroutable(m) => write!(f, "unroutable: {m}"),
+            PnrError::Exhausted(m) => write!(f, "budget exhausted: {m}"),
             PnrError::VerificationFailed(m) => write!(f, "verification failed: {m}"),
         }
     }
@@ -95,6 +112,10 @@ pub struct PnrResult {
     pub fit_attempts: usize,
     /// Usage counters for Table I-style resource accounting.
     pub usage: FabricUsage,
+    /// Stages that ran out of budget but produced a usable (if lower
+    /// quality) result anyway, e.g. `"place: deadline"`. Empty for a
+    /// full-quality run.
+    pub degraded: Vec<String>,
 }
 
 /// Maps a LUT-mapped (LGC) netlist onto a fabric: pack → place → route →
@@ -151,7 +172,9 @@ pub fn place_and_route_with_chains(
             "chain mapping needs a chain-enabled fabric".into(),
         ));
     }
-    let hybrid = lut_map_hybrid(netlist, config.lut_k).netlist;
+    let hybrid = lut_map_hybrid(netlist, config.lut_k)
+        .map_err(|e| PnrError::Unsupported(e.to_string()))?
+        .netlist;
     // Partition: mux cells → chains; everything else → slots.
     let mux_cells: Vec<CellId> = hybrid
         .cells()
@@ -286,7 +309,12 @@ fn run_fit_loop_hybrid(
     let ports = mapped.inputs().len() + mapped.outputs().len();
     let (mut w, mut h) = initial_dims(&config, slots.len(), chain_blocks, ports);
     let mut last_err = String::new();
+    let mut last_unroutable = false;
     for attempt in 1..=options.max_fit_attempts {
+        options
+            .budget
+            .checkpoint()
+            .map_err(|why| PnrError::Exhausted(format!("fit loop: {why}")))?;
         let fabric = Fabric::generate(config.clone(), w, h);
         if std::env::var("PNR_DEBUG").is_ok() {
             eprintln!("attempt {attempt}: {}x{}", fabric.width(), fabric.height());
@@ -299,11 +327,16 @@ fn run_fit_loop_hybrid(
                 result.fit_attempts = attempt;
                 return Ok(result);
             }
-            Err(PnrError::DoesNotFit(m)) => {
+            Err(err @ (PnrError::DoesNotFit(_) | PnrError::Unroutable(_))) => {
+                last_unroutable = matches!(err, PnrError::Unroutable(_));
+                let (PnrError::DoesNotFit(m) | PnrError::Unroutable(m)) = err else {
+                    unreachable!()
+                };
                 // The paper's footnote 5: the *type* of shortage reported by
                 // the mapping tool drives how the fabric is expanded.
                 // Capacity shortages (chain blocks, LUT sites, pads) need
-                // area — grow both dimensions; routing congestion needs
+                // area — grow both dimensions; routing congestion
+                // (including a flat-out unroutable net) needs
                 // perimeter/relief — grow the smaller dimension, with
                 // acceleration for port-heavy designs.
                 let capacity_shortage = m.contains("chain blocks")
@@ -323,10 +356,15 @@ fn run_fit_loop_hybrid(
             Err(other) => return Err(other),
         }
     }
-    Err(PnrError::DoesNotFit(format!(
+    let msg = format!(
         "gave up after {} attempts: {last_err}",
         options.max_fit_attempts
-    )))
+    );
+    Err(if last_unroutable {
+        PnrError::Unroutable(msg)
+    } else {
+        PnrError::DoesNotFit(msg)
+    })
 }
 
 fn try_once(
@@ -477,8 +515,13 @@ fn try_once(
         options.place_starts,
         &pin_hints,
         &chain_tiles,
+        &options.budget,
     )
     .map_err(PnrError::DoesNotFit)?;
+    let mut degraded = Vec::new();
+    if let Some(why) = placement.degraded {
+        degraded.push(format!("place: {why}"));
+    }
 
     // ------------------------------------------------------------------
     // Build route requests.
@@ -607,12 +650,13 @@ fn try_once(
     // Route.
     let mut router = Router::new(fabric);
     let routing = router
-        .route_all(&requests, options.max_route_iterations)
-        .map_err(|bad| {
-            PnrError::DoesNotFit(format!(
-                "unroutable net `{}`",
-                mapped.net(net_ids[bad]).name
-            ))
+        .route_all_budgeted(&requests, options.max_route_iterations, &options.budget)
+        .map_err(|e| match e {
+            RouteError::Unroutable { net } => PnrError::Unroutable(format!(
+                "net `{}`",
+                mapped.net(net_ids[net]).name
+            )),
+            RouteError::Exhausted(why) => PnrError::Exhausted(format!("route: {why}")),
         })?;
 
     // Track lookup: (net, tile) → track index carrying it.
@@ -861,6 +905,7 @@ fn try_once(
         wirelength: routing.wirelength,
         fit_attempts: 1,
         usage,
+        degraded,
     })
 }
 
@@ -950,7 +995,7 @@ mod tests {
     #[test]
     fn lut_flow_small_adder() {
         let n = adder(3);
-        let mapped = lut_map(&n, 4).netlist;
+        let mapped = lut_map(&n, 4).expect("acyclic").netlist;
         let cfg = FabricConfig::fabulous_style(false);
         let res = place_and_route(&mapped, cfg, &PnrOptions::default()).expect("fits");
         assert!(res.slots_used > 0);
@@ -967,7 +1012,7 @@ mod tests {
     #[test]
     fn lut_flow_openfpga_squares() {
         let n = adder(2);
-        let mapped = lut_map(&n, 4).netlist;
+        let mapped = lut_map(&n, 4).expect("acyclic").netlist;
         let cfg = FabricConfig::openfpga_style();
         let res = place_and_route(&mapped, cfg, &PnrOptions::default()).expect("fits");
         assert_eq!(res.fabric.width(), res.fabric.height());
@@ -983,7 +1028,7 @@ mod tests {
         let o = b.xor2(q, en);
         b.output("o", o);
         let n = b.finish();
-        let mapped = lut_map(&n, 4).netlist;
+        let mapped = lut_map(&n, 4).expect("acyclic").netlist;
         let res = place_and_route(&mapped, FabricConfig::fabulous_style(false), &PnrOptions::default())
             .expect("fits");
         let configured =
@@ -1038,7 +1083,7 @@ mod tests {
         let cfg = FabricConfig::fabulous_style(true);
         let chain_res =
             place_and_route_with_chains(&n, cfg.clone(), &PnrOptions::default()).expect("fits");
-        let lut_res = place_and_route(&lut_map(&n, 4).netlist, cfg, &PnrOptions::default())
+        let lut_res = place_and_route(&lut_map(&n, 4).expect("acyclic").netlist, cfg, &PnrOptions::default())
             .expect("fits");
         assert!(
             chain_res.slots_used < lut_res.slots_used,
@@ -1066,7 +1111,7 @@ mod tests {
         // A design too large for the initial estimate must still fit after
         // expansion (tight routing forces retries).
         let n = adder(5);
-        let mapped = lut_map(&n, 4).netlist;
+        let mapped = lut_map(&n, 4).expect("acyclic").netlist;
         let res = place_and_route(&mapped, FabricConfig::fabulous_style(false), &PnrOptions::default())
             .expect("fits eventually");
         assert!(res.fit_attempts >= 1);
@@ -1133,7 +1178,7 @@ mod tests {
     #[test]
     fn utilization_reported() {
         let n = adder(2);
-        let mapped = lut_map(&n, 4).netlist;
+        let mapped = lut_map(&n, 4).expect("acyclic").netlist;
         let res = place_and_route(&mapped, FabricConfig::fabulous_style(false), &PnrOptions::default())
             .expect("fits");
         assert!(res.tiles_used >= 1);

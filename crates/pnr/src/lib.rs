@@ -24,4 +24,4 @@ pub mod route;
 
 pub use flow::{place_and_route, place_and_route_with_chains, PnrError, PnrOptions, PnrResult};
 pub use place::{Placement, Slot, SlotContent};
-pub use route::{RouteRequest, Router, SinkKind, SourceKind};
+pub use route::{RouteError, RouteRequest, Router, SinkKind, SourceKind};

@@ -6,6 +6,7 @@
 //! binds primary inputs/outputs to boundary pads near their logic.
 
 use shell_fabric::Fabric;
+use shell_guard::{Budget, Exhausted};
 use shell_netlist::{CellId, CellKind, LutMask, NetId, Netlist};
 use shell_util::Rng;
 use std::collections::HashMap;
@@ -184,6 +185,10 @@ pub struct Placement {
     pub output_pads: Vec<usize>,
     /// Final half-perimeter wirelength.
     pub hpwl: f64,
+    /// Why annealing stopped early, when it did. The placement is still
+    /// legal (the best configuration seen so far), just lower quality than
+    /// a full anneal would produce.
+    pub degraded: Option<Exhausted>,
 }
 
 /// Places `slots` onto `fabric` with simulated annealing, then assigns IO
@@ -224,6 +229,37 @@ pub fn place_with_hints(
     seed: u64,
     pin_hints: &HashMap<NetId, Vec<(usize, usize)>>,
     pad_averse_tiles: &std::collections::HashSet<(usize, usize)>,
+) -> Result<Placement, String> {
+    place_with_hints_budgeted(
+        netlist,
+        slots,
+        fabric,
+        seed,
+        pin_hints,
+        pad_averse_tiles,
+        &Budget::unlimited(),
+    )
+}
+
+/// Like [`place_with_hints`], but polls `budget` while annealing. When the
+/// budget runs out mid-anneal the best configuration seen so far is kept,
+/// IO assignment proceeds normally, and the returned placement carries a
+/// [`Placement::degraded`] marker instead of an error — a worse placement
+/// beats no placement. With an unlimited budget this is byte-identical to
+/// [`place_with_hints`].
+///
+/// # Errors
+///
+/// Same conditions as [`place`] (capacity shortages, not budget).
+#[allow(clippy::too_many_arguments)]
+pub fn place_with_hints_budgeted(
+    netlist: &Netlist,
+    slots: &[Slot],
+    fabric: &Fabric,
+    seed: u64,
+    pin_hints: &HashMap<NetId, Vec<(usize, usize)>>,
+    pad_averse_tiles: &std::collections::HashSet<(usize, usize)>,
+    budget: &Budget,
 ) -> Result<Placement, String> {
     let per_clb = fabric.config().luts_per_clb;
     let capacity = fabric.lut_sites();
@@ -356,7 +392,19 @@ pub fn place_with_hints(
     let moves = 200 * capacity.max(slots.len()).max(8);
     let mut temperature = (cost / nets.len().max(1) as f64).max(1.0);
     let _ = &nets;
+    // Best-so-far snapshot: the walk may sit on an uphill excursion when
+    // the budget runs out, so an early exit restores the cheapest
+    // configuration seen rather than wherever the anneal happened to be.
+    let mut best_slot_at = slot_at.clone();
+    let mut best_cost = cost;
+    let mut degraded = None;
     for m in 0..moves {
+        if m % 256 == 0 {
+            if let Err(why) = budget.checkpoint() {
+                degraded = Some(why);
+                break;
+            }
+        }
         let a = rng.gen_range(0..capacity);
         let b = rng.gen_range(0..capacity);
         if a == b || (slot_at[a].is_none() && slot_at[b].is_none()) {
@@ -369,6 +417,10 @@ pub fn place_with_hints(
         let accept = delta <= 0.0 || rng.gen_f64() < (-delta / temperature).exp();
         if accept {
             cost = new_cost;
+            if cost < best_cost {
+                best_cost = cost;
+                best_slot_at.clone_from(&slot_at);
+            }
         } else {
             slot_at.swap(a, b);
             rebuild_positions(&slot_at, &mut positions);
@@ -376,6 +428,9 @@ pub fn place_with_hints(
         if m % 64 == 63 {
             temperature *= 0.9;
         }
+    }
+    if degraded.is_some() {
+        slot_at = best_slot_at;
     }
     rebuild_positions(&slot_at, &mut positions);
     cost = hpwl(&positions);
@@ -430,6 +485,7 @@ pub fn place_with_hints(
         input_pads,
         output_pads,
         hpwl: cost,
+        degraded,
     })
 }
 
@@ -443,9 +499,14 @@ pub fn place_with_hints(
 /// start win ties, so the choice does not depend on how the parallel map
 /// was scheduled.
 ///
+/// Every start polls the shared `budget`; a start interrupted mid-anneal
+/// still competes with its best-so-far configuration (see
+/// [`place_with_hints_budgeted`]).
+///
 /// # Errors
 ///
 /// Returns the first start's error when every start fails.
+#[allow(clippy::too_many_arguments)]
 pub fn place_multi_start(
     netlist: &Netlist,
     slots: &[Slot],
@@ -454,12 +515,21 @@ pub fn place_multi_start(
     starts: usize,
     pin_hints: &HashMap<NetId, Vec<(usize, usize)>>,
     pad_averse_tiles: &std::collections::HashSet<(usize, usize)>,
+    budget: &Budget,
 ) -> Result<Placement, String> {
     let seeds: Vec<u64> = (0..starts.max(1) as u64)
         .map(|i| base_seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
         .collect();
     let results = shell_exec::parallel_map(&seeds, |&seed| {
-        place_with_hints(netlist, slots, fabric, seed, pin_hints, pad_averse_tiles)
+        place_with_hints_budgeted(
+            netlist,
+            slots,
+            fabric,
+            seed,
+            pin_hints,
+            pad_averse_tiles,
+            budget,
+        )
     });
     let mut best: Option<Placement> = None;
     let mut first_err: Option<String> = None;
@@ -555,7 +625,7 @@ mod tests {
         let (s, c) = b.adder(&x, &y);
         b.output_bus("s", &s);
         b.output("c", c);
-        lut_map(&b.finish(), 4).netlist
+        lut_map(&b.finish(), 4).expect("acyclic").netlist
     }
 
     #[test]
@@ -667,6 +737,52 @@ mod tests {
         let p2 = place(&n, &slots, &f, 7).unwrap();
         assert_eq!(p1.sites, p2.sites);
         assert_eq!(p1.input_pads, p2.input_pads);
+    }
+
+    #[test]
+    fn cancelled_budget_degrades_but_still_places() {
+        let n = adder_mapped();
+        let slots = pack(&n, 4).unwrap();
+        let f = Fabric::generate(FabricConfig::fabulous_style(false), 4, 4);
+        let budget = Budget::unlimited();
+        budget.cancel();
+        let p = place_with_hints_budgeted(
+            &n,
+            &slots,
+            &f,
+            7,
+            &HashMap::new(),
+            &std::collections::HashSet::new(),
+            &budget,
+        )
+        .expect("a degraded placement is still a placement");
+        assert_eq!(p.degraded, Some(Exhausted::Cancelled));
+        assert_eq!(p.sites.len(), slots.len());
+        let mut seen = std::collections::HashSet::new();
+        for &s in &p.sites {
+            assert!(seen.insert(s), "duplicate site {s:?}");
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_matches_unbudgeted_placement() {
+        let n = adder_mapped();
+        let slots = pack(&n, 4).unwrap();
+        let f = Fabric::generate(FabricConfig::fabulous_style(false), 4, 4);
+        let p1 = place(&n, &slots, &f, 7).unwrap();
+        let p2 = place_with_hints_budgeted(
+            &n,
+            &slots,
+            &f,
+            7,
+            &HashMap::new(),
+            &std::collections::HashSet::new(),
+            &Budget::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(p1.sites, p2.sites);
+        assert_eq!(p1.degraded, None);
+        assert_eq!(p2.degraded, None);
     }
 
     #[test]

@@ -13,7 +13,35 @@
 //! iteration budget runs out.
 
 use shell_fabric::{Fabric, SignalRef};
+use shell_guard::{Budget, Exhausted};
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Why routing stopped without a legal solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// `net` (the request's id) could not be routed legally within the
+    /// iteration limit — congestion, or an unreachable sink.
+    Unroutable {
+        /// Id of the offending request.
+        net: usize,
+    },
+    /// The shared budget ran out mid-negotiation. Unlike placement, a
+    /// half-negotiated routing is illegal (nets still share track nodes),
+    /// so there is no best-so-far to degrade to.
+    Exhausted(Exhausted),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::Unroutable { net } => write!(f, "net {net} is unroutable"),
+            RouteError::Exhausted(why) => write!(f, "routing budget exhausted ({why})"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
 
 /// Where a routed signal originates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -157,6 +185,29 @@ impl<'f> Router<'f> {
         requests: &[RouteRequest],
         max_iterations: usize,
     ) -> Result<RoutingResult, usize> {
+        self.route_all_budgeted(requests, max_iterations, &Budget::unlimited())
+            .map_err(|e| match e {
+                RouteError::Unroutable { net } => net,
+                // An unlimited, unshared budget cannot exhaust.
+                RouteError::Exhausted(_) => unreachable!("unlimited budget exhausted"),
+            })
+    }
+
+    /// Like [`Router::route_all`], but polls `budget` once per negotiation
+    /// iteration and per offender re-route, returning
+    /// [`RouteError::Exhausted`] when it runs out. With an unlimited budget
+    /// this is byte-identical to [`Router::route_all`].
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError`] — an unroutable net or an exhausted budget.
+    pub fn route_all_budgeted(
+        &mut self,
+        requests: &[RouteRequest],
+        max_iterations: usize,
+        budget: &Budget,
+    ) -> Result<RoutingResult, RouteError> {
+        let unroutable = |net: usize| RouteError::Unroutable { net };
         let n_nodes = self.width * self.height * self.tracks;
         let mut routes: HashMap<usize, RoutedNet> = HashMap::new();
         let mut occupancy: Vec<u32> = vec![0; n_nodes];
@@ -180,13 +231,13 @@ impl<'f> Router<'f> {
             shell_exec::parallel_map(requests, |req| this.route_one(req, &empty, 0))
         };
         for (req, candidate) in requests.iter().zip(candidates) {
-            let candidate = candidate.ok_or(req.net)?;
+            let candidate = candidate.ok_or(unroutable(req.net))?;
             let collides = candidate
                 .nodes
                 .keys()
                 .any(|&(x, y, t)| occupancy[self.node_index(x, y, t)] > 0);
             let routed = if collides {
-                self.route_one(req, &occupancy, 0).ok_or(req.net)?
+                self.route_one(req, &occupancy, 0).ok_or(unroutable(req.net))?
             } else {
                 candidate
             };
@@ -200,6 +251,7 @@ impl<'f> Router<'f> {
         // overused nodes; everyone else keeps their (visible) routing.
         let mut iterations = 1;
         for iter in 1..max_iterations {
+            budget.checkpoint().map_err(RouteError::Exhausted)?;
             iterations = iter + 1;
             // Rebuild occupancy from the authoritative route set: the
             // incremental bookkeeping must never drift, and a stale phantom
@@ -246,12 +298,13 @@ impl<'f> Router<'f> {
                 eprintln!("iter {iter}: {over} overused, {} offenders", offenders.len());
             }
             for id in offenders {
+                budget.checkpoint().map_err(RouteError::Exhausted)?;
                 let old = routes.remove(&id).expect("offender routed");
                 for &(x, y, t) in old.nodes.keys() {
                     occupancy[self.node_index(x, y, t)] -= 1;
                 }
                 let req = by_id[&id];
-                let routed = self.route_one(req, &occupancy, iter).ok_or(id)?;
+                let routed = self.route_one(req, &occupancy, iter).ok_or(unroutable(id))?;
                 for &(x, y, t) in routed.nodes.keys() {
                     occupancy[self.node_index(x, y, t)] += 1;
                 }
@@ -289,11 +342,11 @@ impl<'f> Router<'f> {
         for (id, routed) in &routes {
             for &(x, y, t) in routed.nodes.keys() {
                 if occupancy[self.node_index(x, y, t)] > 1 {
-                    return Err(*id);
+                    return Err(unroutable(*id));
                 }
             }
         }
-        Err(requests.first().map(|r| r.net).unwrap_or(0))
+        Err(unroutable(requests.first().map(|r| r.net).unwrap_or(0)))
     }
 
     /// Routes one net against current occupancy. Returns `None` when some
@@ -533,6 +586,35 @@ mod tests {
         let a: Vec<_> = res.nets[&0].nodes.keys().collect();
         for k in res.nets[&1].nodes.keys() {
             assert!(!a.contains(&k), "node {k:?} shared");
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_stops_negotiation_with_typed_error() {
+        // Same congested setup as above: the initial pass overlaps the two
+        // nets, so negotiation must run — and the cancelled budget stops it
+        // at the first iteration boundary.
+        let f = fabric(3, 1);
+        let mut r = Router::new(&f);
+        let reqs = vec![
+            RouteRequest {
+                net: 0,
+                source: SourceKind::Pad(west_pad(&f, 0, 0)),
+                sinks: vec![SinkKind::OutputPad {
+                    pad: east_out_pad(&f, 0, 0),
+                }],
+            },
+            RouteRequest {
+                net: 1,
+                source: SourceKind::Slot { x: 0, y: 0, slot: 1 },
+                sinks: vec![SinkKind::AnyTrackAt { x: 2, y: 0 }],
+            },
+        ];
+        let budget = Budget::unlimited();
+        budget.cancel();
+        match r.route_all_budgeted(&reqs, 16, &budget) {
+            Err(RouteError::Exhausted(Exhausted::Cancelled)) => {}
+            other => panic!("expected cancellation, got {other:?}"),
         }
     }
 

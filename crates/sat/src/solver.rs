@@ -11,9 +11,15 @@
 //!
 //! A **conflict budget** ([`Solver::set_conflict_budget`]) reproduces the
 //! paper's 48-hour attack timeout at laptop scale: when the budget is
-//! exhausted the solver returns [`SatResult::Unknown`].
+//! exhausted the solver returns [`SatResult::Unknown`]. A shared
+//! [`shell_guard::Budget`] can be attached with [`Solver::set_budget`]: the
+//! solver then spends one quota step per conflict and polls the budget's
+//! deadline/cancellation flag at every decision, so a single token governs
+//! a whole attack across many solver instances. [`Solver::stop_reason`]
+//! tells the two kinds of [`SatResult::Unknown`] apart.
 
 use crate::cnf::{Cnf, Lit, Var};
+use shell_guard::{Budget, Exhausted};
 
 /// Result of a solve call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,6 +173,10 @@ pub struct Solver {
     ok: bool,
     stats: SolverStats,
     budget: Option<u64>,
+    /// Shared governance token; one quota step is spent per conflict.
+    guard: Option<Budget>,
+    /// Why the last solve returned [`SatResult::Unknown`], if it did.
+    stop_reason: Option<Exhausted>,
     /// Scratch for conflict analysis.
     seen: Vec<bool>,
 }
@@ -196,6 +206,8 @@ impl Solver {
             ok: true,
             stats: SolverStats::default(),
             budget: None,
+            guard: None,
+            stop_reason: None,
             seen: Vec::new(),
         }
     }
@@ -225,6 +237,21 @@ impl Solver {
     /// removes the limit.
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.budget = budget;
+    }
+
+    /// Attaches a shared [`Budget`]: the solver spends one quota step per
+    /// conflict and polls the deadline/cancellation flag at every decision.
+    /// Exhaustion makes solve calls return [`SatResult::Unknown`] (see
+    /// [`Solver::stop_reason`]). `None` detaches.
+    pub fn set_budget(&mut self, guard: Option<Budget>) {
+        self.guard = guard;
+    }
+
+    /// Why the most recent solve call returned [`SatResult::Unknown`]:
+    /// `Some(..)` for an exhausted [`Budget`], `None` for the plain
+    /// cumulative conflict cap (or when the call answered Sat/Unsat).
+    pub fn stop_reason(&self) -> Option<Exhausted> {
+        self.stop_reason
     }
 
     /// Solver statistics so far.
@@ -330,6 +357,7 @@ impl Solver {
             return SatResult::Unsat;
         }
         self.cancel_until(0);
+        self.stop_reason = None;
         let mut conflicts_until_restart = 100u64;
         let mut conflicts_this_epoch = 0u64;
         loop {
@@ -362,6 +390,13 @@ impl Solver {
                         return SatResult::Unknown;
                     }
                 }
+                if let Some(guard) = &self.guard {
+                    if let Err(why) = guard.spend(1) {
+                        self.stop_reason = Some(why);
+                        self.cancel_until(0);
+                        return SatResult::Unknown;
+                    }
+                }
                 if conflicts_this_epoch >= conflicts_until_restart {
                     conflicts_this_epoch = 0;
                     conflicts_until_restart = (conflicts_until_restart * 3) / 2;
@@ -369,7 +404,16 @@ impl Solver {
                     self.cancel_until(0);
                 }
             } else {
-                // No conflict: pick the next assumption or decide.
+                // No conflict: poll the guard (deadline/cancellation can
+                // trip without a single conflict), then pick the next
+                // assumption or decide.
+                if let Some(guard) = &self.guard {
+                    if let Err(why) = guard.checkpoint() {
+                        self.stop_reason = Some(why);
+                        self.cancel_until(0);
+                        return SatResult::Unknown;
+                    }
+                }
                 if (self.decision_level() as usize) < assumptions.len() {
                     let a = assumptions[self.decision_level() as usize];
                     match self.lit_value(a) {
@@ -810,6 +854,63 @@ mod tests {
         s.solve();
         let st = s.stats();
         assert!(st.decisions > 0 || st.propagations > 0);
+    }
+
+    fn pigeonhole(s: &mut Solver, n: usize, h: usize) {
+        let v = lits(s, n * h);
+        let p = |i: usize, k: usize| v[i * h + k];
+        for i in 0..n {
+            let clause: Vec<Lit> = (0..h).map(|k| Lit::pos(p(i, k))).collect();
+            s.add_clause(&clause);
+        }
+        for k in 0..h {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause(&[Lit::neg(p(i, k)), Lit::neg(p(j, k))]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn guard_quota_returns_unknown_with_reason() {
+        use shell_guard::{Budget, Exhausted};
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 8, 7);
+        let b = Budget::unlimited().with_quota(5);
+        s.set_budget(Some(b.clone()));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        assert_eq!(s.stop_reason(), Some(Exhausted::Quota));
+        assert_eq!(b.remaining_quota(), Some(0));
+        // Detaching the guard lets it finish, and the reason clears.
+        s.set_budget(None);
+        assert_eq!(s.solve(), SatResult::Unsat);
+        assert_eq!(s.stop_reason(), None);
+    }
+
+    #[test]
+    fn guard_cancellation_stops_solver() {
+        use shell_guard::{Budget, Exhausted};
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 8, 7);
+        let b = Budget::unlimited();
+        b.cancel();
+        s.set_budget(Some(b));
+        assert_eq!(s.solve(), SatResult::Unknown);
+        assert_eq!(s.stop_reason(), Some(Exhausted::Cancelled));
+    }
+
+    #[test]
+    fn guard_quota_exhaustion_is_deterministic() {
+        use shell_guard::Budget;
+        let run = |quota: u64| {
+            let mut s = Solver::new();
+            pigeonhole(&mut s, 8, 7);
+            s.set_budget(Some(Budget::unlimited().with_quota(quota)));
+            let r = s.solve();
+            (r, s.stats().conflicts)
+        };
+        assert_eq!(run(17), run(17));
     }
 
     #[test]

@@ -5,29 +5,30 @@
 //! NAND/NOR/XNOR into the positive gate plus an inverter, converts MUX4 into
 //! three MUX2s, and leaves NOT/BUF/MUX2/LUT/DFF/LATCH/CONST untouched.
 
+use crate::error::SynthError;
 use shell_netlist::{CellKind, NetId, Netlist};
 
 /// Rewrites `netlist` into an equivalent network where every combinational
 /// cell is one of NOT, BUF, CONST, MUX2, 2-input AND/OR/XOR, or a LUT.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the netlist has a combinational cycle.
-pub fn decompose_to_two_input(netlist: &Netlist) -> Netlist {
+/// [`SynthError::Cyclic`] if the netlist has a combinational cycle.
+pub fn decompose_to_two_input(netlist: &Netlist) -> Result<Netlist, SynthError> {
     decompose_impl(netlist, false)
 }
 
 /// Like [`decompose_to_two_input`] but leaves `Mux4` cells intact — used by
 /// the hybrid mapping that routes mux cascades to fabric chain blocks.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the netlist has a combinational cycle.
-pub fn decompose_keeping_mux4(netlist: &Netlist) -> Netlist {
+/// [`SynthError::Cyclic`] if the netlist has a combinational cycle.
+pub fn decompose_keeping_mux4(netlist: &Netlist) -> Result<Netlist, SynthError> {
     decompose_impl(netlist, true)
 }
 
-fn decompose_impl(netlist: &Netlist, keep_mux4: bool) -> Netlist {
+fn decompose_impl(netlist: &Netlist, keep_mux4: bool) -> Result<Netlist, SynthError> {
     let mut out = Netlist::new(netlist.name());
     let mut map: Vec<Option<NetId>> = vec![None; netlist.net_count()];
     for &n in netlist.inputs() {
@@ -41,7 +42,9 @@ fn decompose_impl(netlist: &Netlist, keep_mux4: bool) -> Netlist {
             map[c.output.index()] = Some(out.add_net(netlist.net(c.output).name.clone()));
         }
     }
-    let order = netlist.topo_order().expect("cyclic netlist");
+    let order = netlist
+        .topo_order()
+        .map_err(|_| SynthError::cyclic(netlist.name()))?;
     let resolve = |out: &mut Netlist, map: &mut Vec<Option<NetId>>, n: NetId| -> NetId {
         if let Some(m) = map[n.index()] {
             m
@@ -112,7 +115,7 @@ fn decompose_impl(netlist: &Netlist, keep_mux4: bool) -> Netlist {
         let m = map[n.index()].expect("output net mapped");
         out.add_output(name.clone(), m);
     }
-    out
+    Ok(out)
 }
 
 /// Balanced binary tree of 2-input `kind` gates. A single input passes
@@ -170,7 +173,7 @@ mod tests {
         let g = n.add_cell("g", CellKind::Xor, ins.clone());
         let h = n.add_cell("h", CellKind::Or, vec![f, g]);
         n.add_output("h", h);
-        let d = decompose_to_two_input(&n);
+        let d = decompose_to_two_input(&n).unwrap();
         assert!(is_two_input(&d));
         assert_equiv(&n, &d);
     }
@@ -185,7 +188,7 @@ mod tests {
         let y = n.add_cell("y", CellKind::Nor, vec![x, a]);
         let z = n.add_cell("z", CellKind::Xnor, vec![y, b, c]);
         n.add_output("z", z);
-        let d = decompose_to_two_input(&n);
+        let d = decompose_to_two_input(&n).unwrap();
         assert!(is_two_input(&d));
         assert_equiv(&n, &d);
     }
@@ -202,7 +205,7 @@ mod tests {
             vec![s1, s0, data[0], data[1], data[2], data[3]],
         );
         n.add_output("f", f);
-        let d = decompose_to_two_input(&n);
+        let d = decompose_to_two_input(&n).unwrap();
         assert!(is_two_input(&d));
         assert_equiv(&n, &d);
         assert_eq!(d.cell_count(), 3);
@@ -217,7 +220,7 @@ mod tests {
         let w = n.add_cell("w", CellKind::And, vec![a, b, c]);
         let q = n.add_cell("q", CellKind::Dff, vec![w]);
         n.add_output("q", q);
-        let d = decompose_to_two_input(&n);
+        let d = decompose_to_two_input(&n).unwrap();
         assert!(is_two_input(&d));
         assert_eq!(d.sequential_cells().len(), 1);
         use shell_netlist::equiv::equiv_sequential_random;
@@ -231,7 +234,7 @@ mod tests {
         let b = n.add_input("b");
         let f = n.add_cell("f", CellKind::And, vec![a, b]);
         n.add_output("f", f);
-        let d = decompose_to_two_input(&n);
+        let d = decompose_to_two_input(&n).unwrap();
         assert_eq!(d.cell_count(), 1);
         assert_equiv(&n, &d);
     }

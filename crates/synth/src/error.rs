@@ -1,0 +1,52 @@
+//! Typed synthesis failures.
+//!
+//! The mapping passes used to `panic!` on bad input (most prominently
+//! `topo_order().expect("cyclic netlist")`), which meant an untrusted
+//! netlist could kill the whole pipeline. They now return [`SynthError`],
+//! which PnR converts into `PnrError::Unsupported` so the failure surfaces
+//! in flow reports instead of a backtrace.
+
+use std::fmt;
+
+/// Why a synthesis pass rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// The netlist has a combinational cycle; mapping passes require a
+    /// topological order. (Run the attacker-side `cyclic_reduction` or fix
+    /// the input.)
+    Cyclic {
+        /// Name of the offending netlist.
+        design: String,
+    },
+    /// The netlist uses a construct the pass cannot handle.
+    Unsupported {
+        /// Name of the offending netlist.
+        design: String,
+        /// What was unsupported.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Cyclic { design } => {
+                write!(f, "netlist `{design}` has a combinational cycle")
+            }
+            SynthError::Unsupported { design, reason } => {
+                write!(f, "netlist `{design}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+impl SynthError {
+    /// Shorthand for the cyclic case.
+    pub fn cyclic(design: &str) -> Self {
+        SynthError::Cyclic {
+            design: design.to_string(),
+        }
+    }
+}

@@ -21,12 +21,14 @@
 //! mapped netlists against the originals exhaustively or by Monte-Carlo.
 
 pub mod decompose;
+pub mod error;
 pub mod estimate;
 pub mod lutmap;
 pub mod muxchain;
 pub mod opt;
 
 pub use decompose::{decompose_keeping_mux4, decompose_to_two_input};
+pub use error::SynthError;
 pub use estimate::{estimate_luts_for_kind, estimate_luts_for_netlist, LutEstimator};
 pub use lutmap::{lut_map, lut_map_hybrid, LutMapping};
 pub use muxchain::{mux_chain_map, MuxChainMapping};

@@ -14,6 +14,7 @@
 //! the originals.
 
 use crate::decompose::{decompose_keeping_mux4, decompose_to_two_input};
+use crate::error::SynthError;
 use crate::opt::clean_netlist;
 use shell_netlist::{CellId, CellKind, LutMask, NetId, Netlist};
 use std::collections::HashMap;
@@ -61,16 +62,20 @@ struct Cut {
 /// let ca = n.add_cell("ca", CellKind::And, vec![c, a]);
 /// let f = n.add_cell("f", CellKind::Or, vec![ab, bc, ca]);
 /// n.add_output("f", f);
-/// let mapped = lut_map(&n, 4);
+/// let mapped = lut_map(&n, 4).unwrap();
 /// assert!(mapped.lut_count <= 3);
 /// assert_eq!(mapped.netlist.eval_comb(&[true, true, false]), vec![true]);
 /// assert_eq!(mapped.netlist.eval_comb(&[true, false, false]), vec![false]);
 /// ```
 ///
+/// # Errors
+///
+/// [`SynthError::Cyclic`] if the netlist is combinationally cyclic.
+///
 /// # Panics
 ///
-/// Panics if `k` is outside `2..=6` or the netlist is combinationally cyclic.
-pub fn lut_map(netlist: &Netlist, k: usize) -> LutMapping {
+/// Panics if `k` is outside `2..=6` (a caller bug, not an input property).
+pub fn lut_map(netlist: &Netlist, k: usize) -> Result<LutMapping, SynthError> {
     lut_map_impl(netlist, k, false)
 }
 
@@ -80,20 +85,28 @@ pub fn lut_map(netlist: &Netlist, k: usize) -> LutMapping {
 /// of the SheLL flow: ROUTE mux cascades stay muxes (bound for the fabric's
 /// chain blocks) while the surrounding LGC is LUT-mapped.
 ///
+/// # Errors
+///
+/// [`SynthError::Cyclic`] if the netlist is combinationally cyclic.
+///
 /// # Panics
 ///
-/// Panics if `k` is outside `2..=6` or the netlist is combinationally cyclic.
-pub fn lut_map_hybrid(netlist: &Netlist, k: usize) -> LutMapping {
+/// Panics if `k` is outside `2..=6` (a caller bug, not an input property).
+pub fn lut_map_hybrid(netlist: &Netlist, k: usize) -> Result<LutMapping, SynthError> {
     lut_map_impl(netlist, k, true)
 }
 
-fn lut_map_impl(netlist: &Netlist, k: usize, keep_muxes: bool) -> LutMapping {
+fn lut_map_impl(netlist: &Netlist, k: usize, keep_muxes: bool) -> Result<LutMapping, SynthError> {
     assert!((2..=6).contains(&k), "LUT arity must be in 2..=6");
+    // Reject cycles before the cleanup passes (which assume acyclicity).
+    if netlist.topo_order().is_err() {
+        return Err(SynthError::cyclic(netlist.name()));
+    }
     let cleaned = clean_netlist(netlist);
     let prepared = if keep_muxes {
-        decompose_keeping_mux4(&cleaned)
+        decompose_keeping_mux4(&cleaned)?
     } else {
-        decompose_to_two_input(&cleaned)
+        decompose_to_two_input(&cleaned)?
     };
     let is_kept = |kind: CellKind| -> bool {
         keep_muxes && kind.is_mux()
@@ -105,7 +118,9 @@ fn lut_map_impl(netlist: &Netlist, k: usize, keep_muxes: bool) -> LutMapping {
     let mut net_depth = vec![0usize; n_nets];
     // Best cuts per *cell* output net.
     let mut cuts: HashMap<NetId, Vec<Cut>> = HashMap::new();
-    let order = prepared.topo_order().expect("cyclic netlist");
+    let order = prepared
+        .topo_order()
+        .map_err(|_| SynthError::cyclic(prepared.name()))?;
     // Bucket combinational cells by structural level (1 + max level of the
     // driving cells; sources sit at 0): a cell's cut merge only reads the
     // cuts and depths of strictly lower levels, so each bucket enumerates
@@ -306,12 +321,12 @@ fn lut_map_impl(netlist: &Netlist, k: usize, keep_muxes: bool) -> LutMapping {
         .max()
         .unwrap_or(0);
 
-    LutMapping {
+    Ok(LutMapping {
         netlist: out,
         lut_count,
         depth,
         k,
-    }
+    })
 }
 
 /// One cell's priority-cut list: trivial fanin cuts plus the fanins' own
@@ -492,7 +507,7 @@ mod tests {
     #[test]
     fn map_adder_k4_exact() {
         let n = adder(4);
-        let m = lut_map(&n, 4);
+        let m = lut_map(&n, 4).unwrap();
         assert_equiv(&n, &m.netlist);
         assert!(m.lut_count > 0);
         // Every combinational cell must be a LUT or constant.
@@ -510,7 +525,7 @@ mod tests {
         let n = adder(3);
         let mut counts = Vec::new();
         for k in 2..=6 {
-            let m = lut_map(&n, k);
+            let m = lut_map(&n, k).unwrap();
             assert_equiv(&n, &m.netlist);
             assert_eq!(m.k, k);
             assert!(m.lut_count > 0);
@@ -523,8 +538,8 @@ mod tests {
     #[test]
     fn depth_shrinks_with_wider_luts() {
         let n = adder(6);
-        let d2 = lut_map(&n, 2).depth;
-        let d6 = lut_map(&n, 6).depth;
+        let d2 = lut_map(&n, 2).unwrap().depth;
+        let d6 = lut_map(&n, 6).unwrap().depth;
         assert!(d6 <= d2, "k=6 depth {d6} vs k=2 depth {d2}");
     }
 
@@ -537,7 +552,7 @@ mod tests {
         let o = b.mux_tree(&sel, &words);
         b.output_bus("o", &o);
         let n = b.finish();
-        let m = lut_map(&n, 4);
+        let m = lut_map(&n, 4).unwrap();
         assert_equiv(&n, &m.netlist);
     }
 
@@ -554,7 +569,7 @@ mod tests {
         let o = b.xor_word(&q, &ens);
         b.output_bus("o", &o);
         let n = b.finish();
-        let m = lut_map(&n, 4);
+        let m = lut_map(&n, 4).unwrap();
         assert_eq!(
             m.netlist.sequential_cells().len(),
             n.sequential_cells().len()
@@ -571,7 +586,7 @@ mod tests {
         let f = b.reduce(CellKind::And, &x);
         b.output("f", f);
         let n = b.finish();
-        let m = lut_map(&n, 4);
+        let m = lut_map(&n, 4).unwrap();
         assert_eq!(m.netlist.key_inputs().len(), 3);
         for key in [0b000u64, 0b101, 0b111] {
             let kb: Vec<bool> = (0..3).map(|i| (key >> i) & 1 == 1).collect();
@@ -589,7 +604,7 @@ mod tests {
         let one = n.add_cell("one", CellKind::Const(true), vec![]);
         let f = n.add_cell("f", CellKind::Or, vec![a, one]);
         n.add_output("f", f);
-        let m = lut_map(&n, 4);
+        let m = lut_map(&n, 4).unwrap();
         assert_equiv(&n, &m.netlist);
     }
 
@@ -597,14 +612,32 @@ mod tests {
     fn lut_count_reasonable_for_adder() {
         // A 4-bit ripple adder fits comfortably in ≤ 12 4-LUTs.
         let n = adder(4);
-        let m = lut_map(&n, 4);
+        let m = lut_map(&n, 4).unwrap();
         assert!(m.lut_count <= 12, "got {}", m.lut_count);
     }
 
     #[test]
     #[should_panic(expected = "arity")]
     fn bad_arity_panics() {
-        lut_map(&adder(2), 7);
+        let _ = lut_map(&adder(2), 7);
+    }
+
+    #[test]
+    fn cyclic_input_is_typed_error_not_panic() {
+        use crate::error::SynthError;
+        let mut n = Netlist::new("ring");
+        let a = n.add_input("a");
+        let q = n.add_net("q");
+        let x = n.add_cell("x", CellKind::And, vec![a, q]);
+        n.add_cell_driving("loop", CellKind::Or, vec![x, a], q).unwrap();
+        n.add_output("f", q);
+        assert_eq!(lut_map(&n, 4).err(), Some(SynthError::cyclic("ring")));
+        assert_eq!(
+            lut_map_hybrid(&n, 4).err(),
+            Some(SynthError::cyclic("ring"))
+        );
+        assert!(crate::mux_chain_map(&n).is_err());
+        assert!(crate::decompose_to_two_input(&n).is_err());
     }
 
     #[test]
@@ -621,7 +654,7 @@ mod tests {
         let h = b.xor2(m2, g); // LGC after the route
         b.output("h", h);
         let n = b.finish();
-        let m = lut_map_hybrid(&n, 4);
+        let m = lut_map_hybrid(&n, 4).unwrap();
         assert_equiv(&n, &m.netlist);
         let mux_count = m
             .netlist
@@ -655,7 +688,7 @@ mod tests {
         let m = n.add_cell("m", CellKind::Mux4, vec![s1, s0, d[0], d[1], d[2], d[3]]);
         let f = n.add_cell("f", CellKind::Not, vec![m]);
         n.add_output("f", f);
-        let mapped = lut_map_hybrid(&n, 4);
+        let mapped = lut_map_hybrid(&n, 4).unwrap();
         assert_equiv(&n, &mapped.netlist);
         assert!(mapped
             .netlist

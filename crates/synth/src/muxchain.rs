@@ -14,6 +14,7 @@
 //! * the result stays a functional [`Netlist`] plus a resource summary the
 //!   fabric sizing step consumes.
 
+use crate::error::SynthError;
 use crate::opt::clean_netlist;
 use shell_netlist::{CellKind, NetId, Netlist};
 
@@ -40,10 +41,14 @@ pub struct MuxChainMapping {
 /// tree topology (a mux whose *data* input is another mux with single
 /// fanout) into `Mux4` elements. Functionality is preserved exactly.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics on combinationally cyclic input.
-pub fn mux_chain_map(netlist: &Netlist) -> MuxChainMapping {
+/// [`SynthError::Cyclic`] on combinationally cyclic input.
+pub fn mux_chain_map(netlist: &Netlist) -> Result<MuxChainMapping, SynthError> {
+    // Reject cycles before the cleanup passes (which assume acyclicity).
+    if netlist.topo_order().is_err() {
+        return Err(SynthError::cyclic(netlist.name()));
+    }
     let cleaned = clean_netlist(netlist);
     let fanout = cleaned.fanout_table();
 
@@ -98,7 +103,9 @@ pub fn mux_chain_map(netlist: &Netlist) -> MuxChainMapping {
             map[c.output.index()] = Some(out.add_net(cleaned.net(c.output).name.clone()));
         }
     }
-    let order = cleaned.topo_order().expect("cyclic netlist");
+    let order = cleaned
+        .topo_order()
+        .map_err(|_| SynthError::cyclic(cleaned.name()))?;
     let mut m4_count = 0usize;
     let mut m2_count = 0usize;
     let mut residue_cells = 0usize;
@@ -173,14 +180,14 @@ pub fn mux_chain_map(netlist: &Netlist) -> MuxChainMapping {
 
     let chain_count = count_chains(&out);
     let dff_count = out.sequential_cells().len();
-    MuxChainMapping {
+    Ok(MuxChainMapping {
         netlist: out,
         m4_count,
         m2_count,
         residue_cells,
         dff_count,
         chain_count,
-    }
+    })
 }
 
 /// Counts maximal mux-only chain segments: connected runs of Mux2/Mux4 cells
@@ -238,7 +245,7 @@ mod tests {
     #[test]
     fn pack_pairs_into_mux4() {
         let n = mux_tree_circuit(4, 1);
-        let m = mux_chain_map(&n);
+        let m = mux_chain_map(&n).unwrap();
         assert_equiv(&n, &m.netlist);
         // A 4:1 tree of three mux2 packs into one M4 + one M2, or better.
         assert!(m.m4_count >= 1, "expected at least one Mux4");
@@ -253,7 +260,7 @@ mod tests {
     #[test]
     fn functional_on_wide_xbar() {
         let n = mux_tree_circuit(8, 4);
-        let m = mux_chain_map(&n);
+        let m = mux_chain_map(&n).unwrap();
         assert!(equiv_random(&n, &m.netlist, &[], &[], 300, 13).is_equivalent());
         assert!(m.m4_count > 0);
         assert_eq!(m.residue_cells, 0, "pure mux circuit leaves no residue");
@@ -263,7 +270,7 @@ mod tests {
     fn element_savings_on_pure_tree() {
         // 8:1 tree = 7 mux2 per bit. Pairing should reach ~3-4 elements/bit.
         let n = mux_tree_circuit(8, 2);
-        let m = mux_chain_map(&n);
+        let m = mux_chain_map(&n).unwrap();
         let total = m.m4_count + m.m2_count;
         assert!(total <= 10, "8:1 x2 tree should need ≤10 elements, got {total}");
     }
@@ -278,7 +285,7 @@ mod tests {
         let m = b.mux2(s, a, g);
         b.output("f", m);
         let n = b.finish();
-        let r = mux_chain_map(&n);
+        let r = mux_chain_map(&n).unwrap();
         assert_equiv(&n, &r.netlist);
         assert_eq!(r.residue_cells, 1);
         assert_eq!(r.m2_count + r.m4_count, 1);
@@ -299,7 +306,7 @@ mod tests {
         b.output("p1", p1);
         b.output("p2", p2);
         let n = b.finish();
-        let r = mux_chain_map(&n);
+        let r = mux_chain_map(&n).unwrap();
         assert_equiv(&n, &r.netlist);
         // All three survive as elements (no illegal duplication semantics).
         assert_eq!(r.m2_count + 2 * r.m4_count, 3);
@@ -308,7 +315,7 @@ mod tests {
     #[test]
     fn chains_detected() {
         let n = mux_tree_circuit(8, 1);
-        let r = mux_chain_map(&n);
+        let r = mux_chain_map(&n).unwrap();
         assert!(r.chain_count >= 1);
     }
 
@@ -322,7 +329,7 @@ mod tests {
         let q = b.dff(m);
         b.output("q", q);
         let n = b.finish();
-        let r = mux_chain_map(&n);
+        let r = mux_chain_map(&n).unwrap();
         assert_eq!(r.dff_count, 1);
         use shell_netlist::equiv::equiv_sequential_random;
         assert!(equiv_sequential_random(&n, &r.netlist, &[], &[], 16, 2).is_equivalent());

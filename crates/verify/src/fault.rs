@@ -1,0 +1,356 @@
+//! Seeded fault-injection campaign over configured fabrics.
+//!
+//! The robustness contract of the flow is that a corrupted bitstream is
+//! either *detected* by verification or *provably harmless* — and that no
+//! corruption, however adversarial, panics the verifier. This module turns
+//! that contract into a measurement: inject seeded bit-flips and stuck-at
+//! faults into a PnR result's bitstream, re-run the functional check for
+//! each faulted configuration inside a panic guard, and classify every
+//! fault as detected, masked (with the equivalence proof as witness), or —
+//! the failure modes — undetected or panicked.
+//!
+//! The campaign is deterministic: the fault list is derived sequentially
+//! from the seed before any parallel work, and the faults are evaluated
+//! with [`shell_exec::parallel_map`] (index-ordered results), so the report
+//! is byte-identical at every `SHELL_JOBS` setting.
+
+use shell_fabric::{to_configured_netlist, Bitstream, Fabric, IoMap};
+use shell_netlist::equiv::{equiv_exhaustive, equiv_random, EquivResult};
+use shell_netlist::Netlist;
+use shell_util::{Json, Rng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Input-space size (in bits) up to which equivalence runs exhaustively,
+/// making a "masked" verdict a proof rather than a sample.
+const EXHAUSTIVE_INPUT_LIMIT: usize = 10;
+
+/// Monte-Carlo vectors for wide designs (a sample, not a proof — surviving
+/// faults on used bits are then conservatively counted as undetected).
+const SAMPLE_VECTORS: usize = 256;
+
+/// What a fault does to its target bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Invert the bit.
+    BitFlip,
+    /// Force the bit to 0.
+    StuckAt0,
+    /// Force the bit to 1.
+    StuckAt1,
+    /// Invert the i-th *used* bit — key material after shrinking, so this
+    /// models a wrong-key bit rather than random config corruption.
+    KeyFlip,
+}
+
+impl FaultKind {
+    fn label(self) -> &'static str {
+        match self {
+            FaultKind::BitFlip => "bit_flip",
+            FaultKind::StuckAt0 => "stuck_at_0",
+            FaultKind::StuckAt1 => "stuck_at_1",
+            FaultKind::KeyFlip => "key_flip",
+        }
+    }
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The corruption applied.
+    pub kind: FaultKind,
+    /// Absolute bitstream position it lands on.
+    pub bit: usize,
+}
+
+/// How the verifier handled a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Verification found a functional mismatch (or a structurally broken
+    /// configuration — an unreadable bitstream or a combinational loop).
+    Detected,
+    /// The faulted configuration is equivalent to the reference and the
+    /// check was a proof: the write was a no-op, the bit is unused, or
+    /// exhaustive equivalence held (a genuine don't-care).
+    Masked,
+    /// Equivalence was only sampled (wide design) and no mismatch surfaced
+    /// on a used, actually-changed bit — possibly a missed corruption, so
+    /// it counts against the campaign.
+    Undetected,
+    /// The verifier panicked. Always a bug; the campaign exists to keep
+    /// this at zero.
+    Panicked,
+}
+
+impl FaultOutcome {
+    fn label(self) -> &'static str {
+        match self {
+            FaultOutcome::Detected => "detected",
+            FaultOutcome::Masked => "masked",
+            FaultOutcome::Undetected => "undetected",
+            FaultOutcome::Panicked => "panicked",
+        }
+    }
+}
+
+/// One fault with its verdict.
+#[derive(Debug, Clone)]
+pub struct FaultRecord {
+    /// The injected fault.
+    pub fault: Fault,
+    /// Whether the faulted bit was marked used in the pristine bitstream.
+    pub used: bool,
+    /// The verifier's verdict.
+    pub outcome: FaultOutcome,
+}
+
+/// Campaign result: verdict counters plus the full per-fault log.
+#[derive(Debug, Clone)]
+pub struct FaultCampaignReport {
+    /// Name of the reference design.
+    pub design: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Per-fault records, in injection order.
+    pub records: Vec<FaultRecord>,
+}
+
+impl FaultCampaignReport {
+    /// Faults with the given verdict.
+    pub fn count(&self, outcome: FaultOutcome) -> usize {
+        self.records.iter().filter(|r| r.outcome == outcome).count()
+    }
+
+    /// `true` when every fault was detected or masked-with-proof and
+    /// nothing panicked — the campaign's pass condition.
+    pub fn all_accounted_for(&self) -> bool {
+        self.count(FaultOutcome::Undetected) == 0 && self.count(FaultOutcome::Panicked) == 0
+    }
+
+    /// Deterministic JSON view (insertion-ordered keys, no timestamps).
+    pub fn to_json(&self) -> Json {
+        let records: Vec<Json> = self
+            .records
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("kind", Json::from(r.fault.kind.label())),
+                    ("bit", Json::from(r.fault.bit)),
+                    ("used", Json::from(r.used)),
+                    ("outcome", Json::from(r.outcome.label())),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("design", Json::from(self.design.as_str())),
+            ("seed", Json::from(self.seed)),
+            ("faults", Json::from(self.records.len())),
+            ("detected", Json::from(self.count(FaultOutcome::Detected))),
+            ("masked", Json::from(self.count(FaultOutcome::Masked))),
+            ("undetected", Json::from(self.count(FaultOutcome::Undetected))),
+            ("panics", Json::from(self.count(FaultOutcome::Panicked))),
+            ("records", Json::Arr(records)),
+        ])
+    }
+}
+
+/// Derives the seeded fault list. Sequential on purpose: the list must not
+/// depend on how the campaign is later scheduled.
+fn fault_list(bitstream: &Bitstream, faults: usize, seed: u64) -> Vec<Fault> {
+    let used_bits: Vec<usize> = (0..bitstream.len())
+        .filter(|&i| bitstream.is_used(i))
+        .collect();
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..faults)
+        .map(|_| {
+            let kind = match rng.bounded(4) {
+                0 => FaultKind::BitFlip,
+                1 => FaultKind::StuckAt0,
+                2 => FaultKind::StuckAt1,
+                _ if !used_bits.is_empty() => FaultKind::KeyFlip,
+                _ => FaultKind::BitFlip,
+            };
+            let bit = if kind == FaultKind::KeyFlip {
+                used_bits[rng.bounded(used_bits.len() as u64) as usize]
+            } else {
+                rng.bounded(bitstream.len().max(1) as u64) as usize
+            };
+            Fault { kind, bit }
+        })
+        .collect()
+}
+
+/// Applies `fault` to `bits`; returns `false` when the write was a no-op
+/// (the bit already held the forced value).
+fn apply(bits: &mut Bitstream, fault: Fault) -> bool {
+    let old = bits.bit(fault.bit);
+    let new = match fault.kind {
+        FaultKind::BitFlip | FaultKind::KeyFlip => !old,
+        FaultKind::StuckAt0 => false,
+        FaultKind::StuckAt1 => true,
+    };
+    bits.set(fault.bit, new);
+    new != old
+}
+
+/// Runs a seeded campaign of `faults` faults against a configured fabric.
+///
+/// `reference` is the netlist PnR verified the pristine configuration
+/// against (the mapped sub-circuit); `fabric`, `bitstream` and `io_map`
+/// come straight from a [`shell_pnr::PnrResult`]. Each fault perturbs a
+/// fresh copy of the bitstream, re-derives the configured netlist, and
+/// checks it against `reference` inside a panic guard.
+pub fn fault_campaign(
+    reference: &Netlist,
+    fabric: &Fabric,
+    bitstream: &Bitstream,
+    io_map: &IoMap,
+    faults: usize,
+    seed: u64,
+) -> FaultCampaignReport {
+    let list = fault_list(bitstream, faults, seed);
+    let records = shell_exec::parallel_map(&list, |&fault| {
+        let used = bitstream.is_used(fault.bit);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            classify(reference, fabric, bitstream, io_map, fault)
+        }))
+        .unwrap_or(FaultOutcome::Panicked);
+        FaultRecord {
+            fault,
+            used,
+            outcome,
+        }
+    });
+    FaultCampaignReport {
+        design: reference.name().to_string(),
+        seed,
+        records,
+    }
+}
+
+fn classify(
+    reference: &Netlist,
+    fabric: &Fabric,
+    bitstream: &Bitstream,
+    io_map: &IoMap,
+    fault: Fault,
+) -> FaultOutcome {
+    let mut bits = bitstream.clone();
+    if !apply(&mut bits, fault) {
+        // Forcing a bit to the value it already holds cannot corrupt
+        // anything: masked by construction.
+        return FaultOutcome::Masked;
+    }
+    let configured = match to_configured_netlist(fabric, &bits, io_map) {
+        Ok(n) => n,
+        // The faulted bitstream no longer describes a readable
+        // configuration — verification caught it at the structural stage.
+        Err(_) => return FaultOutcome::Detected,
+    };
+    if reference.is_combinational() && configured.topo_order().is_err() {
+        // The fault closed a combinational loop; structurally detected
+        // (and exhaustive evaluation would not terminate meaningfully).
+        return FaultOutcome::Detected;
+    }
+    let exhaustive = reference.is_combinational()
+        && configured.is_combinational()
+        && reference.inputs().len() <= EXHAUSTIVE_INPUT_LIMIT;
+    let outcome = if exhaustive {
+        equiv_exhaustive(reference, &configured, &[], &[])
+    } else if reference.is_combinational() && configured.is_combinational() {
+        equiv_random(reference, &configured, &[], &[], SAMPLE_VECTORS, seed_of(fault))
+    } else {
+        // A fault that flips the sequential/combinational character of the
+        // design is a detected structural change.
+        return FaultOutcome::Detected;
+    };
+    match outcome {
+        EquivResult::Equivalent if exhaustive => FaultOutcome::Masked,
+        EquivResult::Equivalent if !bitstream.is_used(fault.bit) => {
+            // Unused bits are don't-cares by the shrink step's own
+            // accounting; sampled equivalence plus the usage mask is an
+            // acceptable proof.
+            FaultOutcome::Masked
+        }
+        EquivResult::Equivalent => FaultOutcome::Undetected,
+        _ => FaultOutcome::Detected,
+    }
+}
+
+/// Per-fault sampling seed: decorrelates the Monte-Carlo vectors of
+/// different faults without global state.
+fn seed_of(fault: Fault) -> u64 {
+    (fault.bit as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(fault.kind.label().len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shell_pnr::{place_and_route, PnrOptions};
+    use shell_synth::lut_map;
+
+    fn small_pnr() -> (Netlist, shell_pnr::PnrResult) {
+        let design = shell_circuits::ripple_adder(2);
+        let mapped = lut_map(&design, 4).expect("acyclic").netlist;
+        let result = place_and_route(
+            &mapped,
+            shell_fabric::FabricConfig::fabulous_style(false),
+            &PnrOptions::default(),
+        )
+        .expect("fits");
+        (mapped, result)
+    }
+
+    #[test]
+    fn campaign_accounts_for_every_fault() {
+        let (mapped, pnr) = small_pnr();
+        let report = fault_campaign(
+            &mapped,
+            &pnr.fabric,
+            &pnr.bitstream,
+            &pnr.io_map,
+            64,
+            0xFA017,
+        );
+        assert_eq!(report.records.len(), 64);
+        assert!(
+            report.all_accounted_for(),
+            "undetected={} panics={}",
+            report.count(FaultOutcome::Undetected),
+            report.count(FaultOutcome::Panicked)
+        );
+        // Key flips must actually corrupt: at least one detection.
+        assert!(report.count(FaultOutcome::Detected) > 0);
+    }
+
+    #[test]
+    fn campaign_report_is_deterministic() {
+        let (mapped, pnr) = small_pnr();
+        let run = || {
+            fault_campaign(&mapped, &pnr.fabric, &pnr.bitstream, &pnr.io_map, 24, 7)
+                .to_json()
+                .to_string_pretty()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stuck_at_matching_value_is_masked() {
+        let (mapped, pnr) = small_pnr();
+        let bit = 0;
+        let kind = if pnr.bitstream.bit(bit) {
+            FaultKind::StuckAt1
+        } else {
+            FaultKind::StuckAt0
+        };
+        let outcome = classify(
+            &mapped,
+            &pnr.fabric,
+            &pnr.bitstream,
+            &pnr.io_map,
+            Fault { kind, bit },
+        );
+        assert_eq!(outcome, FaultOutcome::Masked);
+    }
+}

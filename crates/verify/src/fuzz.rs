@@ -255,7 +255,7 @@ fn verdict(r: &EquivResult) -> &'static str {
 pub fn run_pipeline(spec: &FuzzSpec) -> SampleStatus {
     let base = spec.build();
 
-    let mapped = lut_map_hybrid(&base, 4).netlist;
+    let mapped = lut_map_hybrid(&base, 4).expect("acyclic").netlist;
     let s = check_boundary("lutmap", &base, &mapped);
     if s != SampleStatus::Ok {
         return s;

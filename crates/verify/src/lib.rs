@@ -9,6 +9,10 @@
 //!   being reported as a counterexample.
 //! * [`equiv_sat_bounded`] — bounded sequential equivalence by time-frame
 //!   expansion from the all-zero reset state.
+//! * [`fault`] — the seeded fault-injection campaign: bit-flips and
+//!   stuck-at faults injected into configured bitstreams, every faulted
+//!   configuration re-verified inside a panic guard and classified as
+//!   detected / masked-with-proof / undetected / panicked,
 //! * [`fuzz`] — the differential flow fuzzer: seeded random netlists pushed
 //!   through LUT-map → place-and-route → bitstream → fabric emulation →
 //!   lock → activate, with every stage boundary miter-checked, mismatches
@@ -25,9 +29,13 @@
 #![warn(missing_docs)]
 
 pub mod equiv_sat;
+pub mod fault;
 pub mod fuzz;
 
 pub use equiv_sat::{equiv_sat, equiv_sat_bounded};
+pub use fault::{
+    fault_campaign, Fault, FaultCampaignReport, FaultKind, FaultOutcome, FaultRecord,
+};
 pub use fuzz::{
     replay_artifact, run_pipeline, FuzzConfig, FuzzReport, FuzzSpec, SampleReport, SampleStatus,
 };

@@ -63,7 +63,7 @@ fn main() {
     }
     let options = SatAttackOptions {
         max_iterations: 32,
-        conflict_budget: Some(200_000),
+        budget: shell_guard::Budget::unlimited().with_quota(200_000),
         ..Default::default()
     };
     match sat_attack(&locked_frame, &oracle_frame, &options) {

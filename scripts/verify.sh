@@ -73,4 +73,30 @@ cmp "$fuzz_j1" "$fuzz_j4" || {
 }
 echo "ok"
 
+# Fault-injection smoke: 240 seeded bit-flip/stuck-at faults into a
+# configured bitstream. Every fault must be detected or masked-with-proof
+# and nothing may panic, at both job counts; the reports carry no worker
+# count, so they must also be byte-identical.
+echo "== fault smoke: 240 faults, SHELL_JOBS=1 vs 4, zero undetected/panics =="
+SHELL_JOBS=1 cargo run -q --release --offline --bin fault_campaign -- \
+    --faults 240 --seed 7 --out FAULT_smoke_j1
+SHELL_JOBS=4 cargo run -q --release --offline --bin fault_campaign -- \
+    --faults 240 --seed 7 --out FAULT_smoke_j4
+grep -q '"undetected": 0' results/FAULT_smoke_j1.json || {
+    echo "fault smoke left undetected faults:" >&2
+    grep '"undetected"' results/FAULT_smoke_j1.json >&2
+    exit 1
+}
+grep -q '"panics": 0' results/FAULT_smoke_j1.json || {
+    echo "fault smoke panicked:" >&2
+    grep '"panics"' results/FAULT_smoke_j1.json >&2
+    exit 1
+}
+cmp results/FAULT_smoke_j1.json results/FAULT_smoke_j4.json || {
+    echo "fault reports differ between SHELL_JOBS=1 and 4" >&2
+    exit 1
+}
+rm -f results/FAULT_smoke_j1.json results/FAULT_smoke_j4.json
+echo "ok"
+
 echo "verify: all green (hermetic)"

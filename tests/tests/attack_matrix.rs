@@ -13,7 +13,7 @@ use shell_netlist::equiv::equiv_exhaustive;
 fn budget() -> SatAttackOptions {
     SatAttackOptions {
         max_iterations: 128,
-        conflict_budget: Some(500_000),
+        budget: shell_guard::Budget::unlimited().with_quota(500_000),
         ..Default::default()
     }
 }

@@ -16,7 +16,7 @@ use shell_synth::lut_map;
 /// `shell_pnr::place`; different seed ⇒ a different annealing trajectory.
 #[test]
 fn placement_identical_for_same_seed() {
-    let mapped = lut_map(&generate(Benchmark::Fir, Scale::small()), 4).netlist;
+    let mapped = lut_map(&generate(Benchmark::Fir, Scale::small()), 4).expect("acyclic").netlist;
     let slots = pack(&mapped, 4).expect("packs");
     let tiles = slots.len().div_ceil(4).max(2);
     let side = (tiles as f64).sqrt().ceil() as usize + 1;

@@ -15,7 +15,7 @@ use shell_synth::{lut_map, propagate_constants_cyclic};
 #[test]
 fn synth_pnr_emulation_roundtrip() {
     let design = shell_circuits::ripple_adder(4);
-    let mapped = lut_map(&design, 4).netlist;
+    let mapped = lut_map(&design, 4).expect("acyclic").netlist;
     let result = place_and_route(&mapped, FabricConfig::fabulous_style(false), &PnrOptions::default())
         .expect("fits");
     let configured =

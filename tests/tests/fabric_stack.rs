@@ -15,7 +15,7 @@ use shell_synth::{lut_map, propagate_constants_cyclic};
 #[test]
 fn locked_with_correct_key_equals_configured() {
     let design = ripple_adder(3);
-    let mapped = lut_map(&design, 4).netlist;
+    let mapped = lut_map(&design, 4).expect("acyclic").netlist;
     let result = place_and_route(
         &mapped,
         FabricConfig::fabulous_style(false),
@@ -92,7 +92,7 @@ fn sat_attack_on_fabric_locked_design() {
     };
     let opts = SatAttackOptions {
         max_iterations: 64,
-        conflict_budget: Some(400_000),
+        budget: shell_guard::Budget::unlimited().with_quota(400_000),
         ..Default::default()
     };
     match sat_attack(&attackable, &design, &opts) {
@@ -117,7 +117,7 @@ fn sat_attack_on_fabric_locked_design() {
 #[test]
 fn baseline_lock_is_cyclic_until_reduced() {
     let design = ripple_adder(2);
-    let mapped = lut_map(&design, 4).netlist;
+    let mapped = lut_map(&design, 4).expect("acyclic").netlist;
     let result = place_and_route(
         &mapped,
         FabricConfig::openfpga_style(),
@@ -136,7 +136,7 @@ fn baseline_lock_is_cyclic_until_reduced() {
 #[test]
 fn bitstream_utilization_fractional() {
     let design = ripple_adder(3);
-    let mapped = lut_map(&design, 4).netlist;
+    let mapped = lut_map(&design, 4).expect("acyclic").netlist;
     let result = place_and_route(
         &mapped,
         FabricConfig::fabulous_style(false),

@@ -89,7 +89,7 @@ fn decompose_preserves_function() {
         |rng| (gen_gates(rng, 16), rng.bounded(32)),
         |(gates, bits)| {
             let n = build_netlist(5, gates);
-            let d = decompose_to_two_input(&n);
+            let d = decompose_to_two_input(&n).expect("acyclic");
             let pattern = to_bits(*bits, 5);
             expect_eq(n.eval_comb(&pattern), d.eval_comb(&pattern), "decompose")
         },
@@ -107,7 +107,7 @@ fn lut_map_preserves_function() {
         |(gates, k_raw, bits)| {
             let k = 2 + (*k_raw as usize); // 2..=6, stays valid under shrink
             let n = build_netlist(4, gates);
-            let m = lut_map(&n, k);
+            let m = lut_map(&n, k).expect("acyclic");
             let pattern = to_bits(*bits, 4);
             expect_eq(
                 n.eval_comb(&pattern),
