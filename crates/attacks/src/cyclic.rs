@@ -46,6 +46,7 @@ pub fn cyclic_reduction_budgeted(
     locked: &Netlist,
     budget: &Budget,
 ) -> Result<CyclicReductionReport, Exhausted> {
+    let _span = shell_trace::span!("attack.cyclic");
     let mut netlist = locked.clone();
     let mut edges_cut = 0usize;
     let mut cycles_found = 0usize;

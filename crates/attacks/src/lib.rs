@@ -1,7 +1,7 @@
 //! Attack suite for evaluating locked designs — the resilience side of every
 //! table in the paper.
 //!
-//! * [`sat_attack`] — the oracle-guided key-recovery SAT attack \[6\]: a miter
+//! * [`sat_attack()`](sat_attack::sat_attack) — the oracle-guided key-recovery SAT attack \[6\]: a miter
 //!   of two locked-circuit copies with shared inputs and independent keys
 //!   yields *distinguishing input patterns* (DIPs); each DIP is resolved
 //!   against the oracle and added as an IO constraint until no DIP remains,

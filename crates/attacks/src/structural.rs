@@ -60,6 +60,7 @@ pub fn structural_mux_attack_budgeted(
     true_key: &[bool],
     budget: &Budget,
 ) -> Result<StructuralReport, Exhausted> {
+    let _span = shell_trace::span!("attack.structural");
     assert_eq!(
         true_key.len(),
         locked.key_inputs().len(),

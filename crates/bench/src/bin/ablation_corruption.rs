@@ -28,6 +28,7 @@ fn miter_c2v(locked: &shell_netlist::Netlist) -> Option<f64> {
 }
 
 fn main() {
+    shell_bench::trace_init();
     let mut t = Table::new(&[
         "Benchmark",
         "key bits",
@@ -64,4 +65,5 @@ fn main() {
     }
     println!("corruption ~0.5 is ideal; c2v near the 3-5 band is the classic hard zone");
     println!("the paper's §II argues reconfigurable locking lands in via its CNF shape.");
+    shell_bench::trace_finish("ablation_corruption");
 }

@@ -12,6 +12,7 @@ use shell_fabric::shrink::combinational_cycle_count;
 use shell_lock::{evaluate_overhead, shell_lock, ShellOptions};
 
 fn main() {
+    shell_bench::trace_init();
     let mut t = Table::new(&[
         "Benchmark",
         "variant",
@@ -63,4 +64,5 @@ fn main() {
     }
     println!("expected: shrinking removes the routing-mesh cycles entirely and cuts");
     println!("both the key length and the implementation cost by a large factor.");
+    shell_bench::trace_finish("ablation_shrink");
 }

@@ -18,6 +18,7 @@ use shell_synth::lut_map;
 use shell_util::{Bench, BenchReport, Json};
 
 fn main() {
+    shell_bench::trace_init();
     let par_jobs = shell_exec::current_jobs();
     println!("bench_exec: sequential (jobs=1) vs parallel (jobs={par_jobs})");
     if par_jobs == 1 {
@@ -83,6 +84,7 @@ fn main() {
             par.speedup_over(seq)
         );
     }
+    shell_bench::trace_finish("bench_exec");
 }
 
 /// Times `f` at `jobs = 1` and `jobs = par_jobs`, checks the two runs

@@ -38,6 +38,7 @@ fn solve_pigeonhole(budget: Option<Budget>) -> SatResult {
 }
 
 fn main() {
+    shell_bench::trace_init();
     let mut bench = Bench::new(2, 9);
 
     // Fast paths, amortized over a million polls per iteration.
@@ -78,4 +79,5 @@ fn main() {
     let json = Json::Arr(bench.reports().iter().map(|r| r.to_json()).collect());
     let path = write_results_json("BENCH_guard", &json).expect("write results");
     println!("wrote {path}");
+    shell_bench::trace_finish("bench_guard");
 }

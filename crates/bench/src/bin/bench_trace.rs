@@ -1,0 +1,151 @@
+//! Tracing-overhead benchmark. Writes `results/BENCH_trace.json`.
+//!
+//! Two questions, answered separately:
+//!
+//! 1. **What does a disabled probe cost?** Instrumentation is compiled into
+//!    the hot paths permanently, so the price of shipping it is the no-op
+//!    fast path: one relaxed atomic load per `span!`/`counter_add` call.
+//!    Measured raw, amortized over a million calls.
+//! 2. **What does it cost a real workload?** The guarded pigeonhole solve
+//!    (the same kernel as `bench_guard`) runs A/B with tracing disabled and
+//!    enabled. One solve crosses the instrumentation exactly four times
+//!    (one `sat.solve` span, three stat-delta counters), so the disabled
+//!    overhead is also derived analytically: `4 × disabled-op cost /
+//!    median solve time` — this is `overhead_disabled_pct`, the number the
+//!    acceptance gate bounds at 2%.
+//!
+//! This bin manages the tracer itself (it must control enabled/disabled
+//! phases), so unlike the other bins it ignores `SHELL_TRACE`.
+
+use shell_bench::write_results_json;
+use shell_guard::Budget;
+use shell_sat::{Lit, SatResult, Solver, Var};
+use shell_util::{Bench, Json};
+
+/// A pigeonhole instance (n+1 pigeons, n holes): conflict-heavy, shared
+/// with `bench_guard` so the two overhead numbers are comparable.
+fn pigeonhole(s: &mut Solver, pigeons: usize, holes: usize) -> Vec<Vec<Var>> {
+    let vars: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &vars {
+        let clause: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause(&clause);
+    }
+    for h in 0..holes {
+        for a in 0..pigeons {
+            for b in (a + 1)..pigeons {
+                s.add_clause(&[Lit::neg(vars[a][h]), Lit::neg(vars[b][h])]);
+            }
+        }
+    }
+    vars
+}
+
+fn solve_pigeonhole_guarded() {
+    let mut s = Solver::new();
+    pigeonhole(&mut s, 8, 7);
+    s.set_budget(Some(Budget::unlimited()));
+    assert_eq!(s.solve(), SatResult::Unsat);
+}
+
+const PROBE_CALLS: u32 = 1_000_000;
+/// Instrumentation crossings per guarded solve: one `sat.solve` span plus
+/// three stat-delta counters (conflicts, decisions, propagations).
+const OPS_PER_SOLVE: f64 = 4.0;
+
+fn main() {
+    // Tracer state is driven explicitly below.
+    shell_trace::uninstall();
+    let mut bench = Bench::new(2, 9);
+
+    // --- raw disabled probes -------------------------------------------
+    assert!(!shell_trace::enabled());
+    bench.run("span_disabled_1M", || {
+        for _ in 0..PROBE_CALLS {
+            let span = std::hint::black_box(shell_trace::span!("bench.noop"));
+            drop(span);
+        }
+    });
+    bench.run("counter_disabled_1M", || {
+        for _ in 0..PROBE_CALLS {
+            shell_trace::counter_add("bench.noop", std::hint::black_box(1));
+        }
+    });
+
+    // --- raw enabled probes (for the curious; not gated) ---------------
+    shell_trace::install(shell_trace::Tracer::new());
+    bench.run("span_enabled_10k", || {
+        for _ in 0..10_000 {
+            let span = std::hint::black_box(shell_trace::span!("bench.live"));
+            drop(span);
+        }
+    });
+    shell_trace::uninstall();
+
+    // --- guarded solve A/B ---------------------------------------------
+    bench.run("solve_php8_trace_disabled", || solve_pigeonhole_guarded());
+    shell_trace::install(shell_trace::Tracer::new());
+    bench.run("solve_php8_trace_enabled", || solve_pigeonhole_guarded());
+    shell_trace::uninstall();
+
+    for report in bench.reports() {
+        println!("{}", report.line());
+    }
+    let reports = bench.reports();
+    let per_ns = |name: &str, calls: f64| -> f64 {
+        let r = reports.iter().find(|r| r.name == name).expect("report");
+        r.median_ns as f64 / calls
+    };
+    let span_disabled_ns = per_ns("span_disabled_1M", PROBE_CALLS as f64);
+    let counter_disabled_ns = per_ns("counter_disabled_1M", PROBE_CALLS as f64);
+    let span_enabled_ns = per_ns("span_enabled_10k", 10_000.0);
+    let solve_disabled = reports
+        .iter()
+        .find(|r| r.name == "solve_php8_trace_disabled")
+        .expect("disabled solve");
+    let solve_enabled = reports
+        .iter()
+        .find(|r| r.name == "solve_php8_trace_enabled")
+        .expect("enabled solve");
+
+    // The disabled overhead of a solve, analytically: the solve crosses the
+    // compiled-in probes OPS_PER_SOLVE times; everything else is identical
+    // code. (A direct A/B cannot isolate this — the probes cannot be
+    // compiled out at runtime.)
+    let worst_op_ns = span_disabled_ns.max(counter_disabled_ns);
+    let overhead_disabled_pct =
+        100.0 * (OPS_PER_SOLVE * worst_op_ns) / solve_disabled.median_ns as f64;
+    // The *enabled* overhead is a direct median A/B.
+    let overhead_enabled_pct = 100.0
+        * (solve_enabled.median_ns as f64 - solve_disabled.median_ns as f64)
+        / solve_disabled.median_ns as f64;
+
+    println!("disabled span probe:    {span_disabled_ns:.2} ns/op");
+    println!("disabled counter probe: {counter_disabled_ns:.2} ns/op");
+    println!("enabled span probe:     {span_enabled_ns:.1} ns/op");
+    println!("guarded-solve overhead: disabled {overhead_disabled_pct:.4}%  enabled {overhead_enabled_pct:.2}%");
+    assert!(
+        span_disabled_ns < 10.0 && counter_disabled_ns < 10.0,
+        "disabled probes must stay under 10 ns"
+    );
+    assert!(
+        overhead_disabled_pct < 2.0,
+        "disabled-tracer overhead must stay under 2% of a guarded solve"
+    );
+
+    let json = Json::obj([
+        ("span_disabled_ns", Json::Num(span_disabled_ns)),
+        ("counter_disabled_ns", Json::Num(counter_disabled_ns)),
+        ("span_enabled_ns", Json::Num(span_enabled_ns)),
+        ("ops_per_solve", Json::Num(OPS_PER_SOLVE)),
+        ("overhead_disabled_pct", Json::Num(overhead_disabled_pct)),
+        ("overhead_enabled_pct", Json::Num(overhead_enabled_pct)),
+        (
+            "reports",
+            Json::Arr(reports.iter().map(|r| r.to_json()).collect()),
+        ),
+    ]);
+    let path = write_results_json("BENCH_trace", &json).expect("write results");
+    println!("wrote {path}");
+}

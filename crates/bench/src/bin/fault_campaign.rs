@@ -13,6 +13,7 @@ use shell_synth::lut_map;
 use shell_verify::fault_campaign;
 
 fn main() {
+    shell_bench::trace_init();
     let mut faults = 240usize;
     let mut seed = 0xFA017u64;
     let mut out = String::from("FAULT_campaign");
@@ -66,6 +67,7 @@ fn main() {
     let path = root.join(format!("{out}.json"));
     std::fs::write(&path, json.to_string_pretty()).expect("write results");
     println!("wrote {}", path.display());
+    shell_bench::trace_finish("fault_campaign");
     if !report.all_accounted_for() {
         eprintln!("FAIL: unaccounted faults (undetected or panicked)");
         std::process::exit(1);

@@ -45,6 +45,7 @@ fn attack_row(t: &mut Table, scheme: &str, lock: &LockedDesign, oracle: &shell_n
 }
 
 fn main() {
+    shell_bench::trace_init();
     let oracle = ripple_adder(6);
     let mut t = Table::new(&[
         "Scheme (Fig. 1)",
@@ -97,4 +98,5 @@ fn main() {
     println!("expected: robustness grows (a) -> (e); (c) leaks structure to the");
     println!("link-prediction guesser (accuracy >> 0.5), which is the paper's argument");
     println!("for fabric-grade (symmetric, distributed) reconfigurability.");
+    shell_bench::trace_finish("fig1");
 }

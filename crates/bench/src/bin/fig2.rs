@@ -13,6 +13,7 @@ use shell_pnr::{place_and_route, PnrOptions};
 use shell_synth::lut_map;
 
 fn main() {
+    shell_bench::trace_init();
     // desX stand-in: a wide crossbar whose LUT mapping needs a mid-size
     // grid (the paper's desX is likewise an arbitrary mid-size design).
     let desx = axi_xbar(8, 6);
@@ -72,4 +73,5 @@ fn main() {
         Err(e) => eprintln!("could not write results json: {e}"),
     }
     println!("paper reference: desX on a 7x7 OpenFPGA grid left 11/49 tiles unused (<77%).");
+    shell_bench::trace_finish("fig2");
 }

@@ -45,6 +45,7 @@ fn parse_args() -> Result<(FuzzConfig, Option<PathBuf>), String> {
 }
 
 fn main() -> ExitCode {
+    shell_bench::trace_init();
     let (config, out) = match parse_args() {
         Ok(parsed) => parsed,
         Err(e) => {
@@ -74,6 +75,7 @@ fn main() -> ExitCode {
     for path in &report.artifacts {
         eprintln!("fuzz:   artifact {}", path.display());
     }
+    shell_bench::trace_finish("fuzz");
     if report.mismatches == 0 {
         ExitCode::SUCCESS
     } else {

@@ -20,6 +20,7 @@ fn used_resources(result: &PnrResult) -> ResourceReport {
 }
 
 fn main() {
+    shell_bench::trace_init();
     let xbar = axi_xbar(8, 4);
     println!(
         "ROUTE workload: 8-channel AXI crossbar, {} cells, {} muxes",
@@ -93,4 +94,5 @@ fn main() {
         "chain-vs-std element saving: {:.0}%  (paper: >= 50% with custom MUX chains [21])",
         100.0 * (1.0 - chain_r.total_muxes() as f64 / std_r.total_muxes() as f64)
     );
+    shell_bench::trace_finish("table1");
 }

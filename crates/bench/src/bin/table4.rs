@@ -12,6 +12,7 @@ use shell_circuits::{generate, Benchmark};
 use shell_lock::{evaluate_overhead, redact_baseline, BaselineCase, ShellOptions};
 
 fn main() {
+    shell_bench::trace_init();
     let mut t = Table::new(&[
         "Benchmark", "Case", "TfR", "A", "P", "D", "SAT", "key bits",
     ]);
@@ -99,6 +100,7 @@ fn main() {
             100.0 * (1.0 - (s[2] - 1.0) / (b[2] - 1.0).max(1e-9)),
         );
     }
+    shell_bench::trace_finish("table4");
 }
 
 fn short(case: BaselineCase) -> String {

@@ -12,6 +12,7 @@ use shell_circuits::{generate, Benchmark};
 use shell_lock::{evaluate_overhead, redact_baseline, BaselineCase, ShellOptions};
 
 fn main() {
+    shell_bench::trace_init();
     let benches = [Benchmark::PicoSoc, Benchmark::Aes, Benchmark::Fir];
     let mut t = Table::new(&[
         "Benchmark", "C1 A", "C1 P", "C1 D", "C2 A", "C2 P", "C2 D", "C3 A", "C3 P", "C3 D",
@@ -56,4 +57,5 @@ fn main() {
     }
     println!("note: Cases 1 and 2 coincide by construction (same tool, same target),");
     println!("matching the paper's footnote that they are equal under an identical TfR.");
+    shell_bench::trace_finish("table5");
 }

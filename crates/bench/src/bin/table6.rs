@@ -13,6 +13,7 @@ use shell_lock::{
 };
 
 fn main() {
+    shell_bench::trace_init();
     let presets = Coefficients::table_vi_presets();
     let mut header: Vec<String> = vec!["Benchmark".into()];
     for (label, _) in &presets {
@@ -84,4 +85,5 @@ fn main() {
         "c5 within 0.05 of the best area column on {c5_wins}/{rows} benchmarks \
          (paper: c5 is the chosen operating point)"
     );
+    shell_bench::trace_finish("table6");
 }

@@ -13,6 +13,7 @@ use shell_circuits::{generate, Benchmark};
 use shell_lock::{evaluate_overhead, shell_lock, SelectionOptions, ShellOptions};
 
 fn main() {
+    shell_bench::trace_init();
     let benches = [Benchmark::PicoSoc, Benchmark::Aes, Benchmark::Fir];
     let mut t = Table::new(&[
         "Benchmark",
@@ -68,4 +69,5 @@ fn main() {
         Ok(path) => println!("json: {path}"),
         Err(e) => eprintln!("could not write results json: {e}"),
     }
+    shell_bench::trace_finish("table7");
 }

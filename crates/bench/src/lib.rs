@@ -186,6 +186,34 @@ pub fn write_results_json(name: &str, json: &Json) -> Result<String, String> {
     Ok(path.display().to_string())
 }
 
+/// Enables tracing when `SHELL_TRACE` is set (see `OBSERVABILITY.md`).
+/// Call first thing in a bin's `main`; pair with [`trace_finish`].
+pub fn trace_init() -> bool {
+    shell_trace::init_from_env()
+}
+
+/// Exports the installed tracer (if any) to `results/trace/{name}.json`
+/// (Chrome trace format, loadable in Perfetto) and
+/// `results/trace/{name}.summary.txt` (timed span summary), printing both
+/// paths. A no-op when tracing is disabled, so every bin can call it
+/// unconditionally at exit.
+pub fn trace_finish(name: &str) {
+    let Some(tracer) = shell_trace::uninstall() else {
+        return;
+    };
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+        .join("trace");
+    match shell_trace::write_artifacts(&dir, name, &tracer.snapshot()) {
+        Ok((json, summary)) => {
+            println!("trace: {}", json.display());
+            println!("trace summary: {}", summary.display());
+        }
+        Err(e) => eprintln!("could not write trace artifacts: {e}"),
+    }
+}
+
 /// Formats an f64 to two decimals (the paper's table precision).
 pub fn f2(v: f64) -> String {
     format!("{v:.2}")

@@ -129,6 +129,7 @@ pub fn shell_lock_cells(
     cells: &[CellId],
     options: &ShellOptions,
 ) -> Result<RedactionOutcome, PnrError> {
+    let _span = shell_trace::span!("lock.flow");
     let partition = partition_by_cells(design, cells);
     let config = FabricConfig::fabulous_style(true);
     let (pnr, attempts) = map_with_ladder(&partition.sub, config, options)?;
@@ -150,6 +151,10 @@ fn map_with_ladder(
     let mut action = String::from("baseline");
     let rungs = options.max_ladder_attempts.max(1);
     for attempt in 1..=rungs {
+        // One span per ladder rung — it brackets exactly the work the
+        // matching `AttemptRecord` journals.
+        let _rung_span = shell_trace::span!("lock.ladder_rung", attempt = attempt);
+        shell_trace::counter_add("lock.ladder_attempts", 1);
         match place_and_route_with_chains(sub, config.clone(), &pnr_options) {
             Ok(result) => {
                 attempts.push(AttemptRecord {

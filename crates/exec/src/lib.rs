@@ -30,6 +30,21 @@
 //! pure function of its seed); callers must therefore pass **pure**
 //! closures. The *evaluation order* across workers is unspecified — only
 //! the merged result order is.
+//!
+//! # Example
+//!
+//! ```
+//! let items: Vec<u64> = (0..100).collect();
+//! let squares = shell_exec::parallel_map(&items, |&x| x * x);
+//!
+//! // The deterministic-merge contract: whatever the worker count, the
+//! // result equals the sequential map, element for element.
+//! let sequential = shell_exec::with_jobs(1, || {
+//!     shell_exec::parallel_map(&items, |&x| x * x)
+//! });
+//! assert_eq!(squares, sequential);
+//! assert_eq!(squares[7], 49);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -218,7 +218,7 @@ impl Budget {
     }
 
     /// The inner-loop poll. Fast path: two relaxed atomic loads; the wall
-    /// clock is consulted once per [`DEADLINE_POLL_INTERVAL`] calls.
+    /// clock is consulted once per `DEADLINE_POLL_INTERVAL` (64) calls.
     pub fn checkpoint(&self) -> Result<(), Exhausted> {
         if self.inner.cancelled.load(Ordering::Relaxed) {
             return Err(Exhausted::Cancelled);

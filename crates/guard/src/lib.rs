@@ -22,6 +22,25 @@
 //! inherently wall-clock and therefore non-deterministic; anything that
 //! must produce byte-identical reports (tests, fuzz campaigns) uses quota
 //! or cancellation, never a deadline.
+//!
+//! # Example
+//!
+//! ```
+//! use shell_guard::{Budget, Exhausted};
+//!
+//! let budget = Budget::unlimited().with_quota(2);
+//! assert_eq!(budget.spend(1), Ok(()));
+//! assert_eq!(budget.spend(1), Ok(()));
+//! // The third step exceeds the quota — an engine returns this upward
+//! // instead of looping forever.
+//! assert_eq!(budget.spend(1), Err(Exhausted::Quota));
+//!
+//! // Cancellation reaches every clone of the token.
+//! let worker = Budget::unlimited();
+//! let handle = worker.clone();
+//! handle.cancel();
+//! assert_eq!(worker.checkpoint(), Err(Exhausted::Cancelled));
+//! ```
 
 #![warn(missing_docs)]
 

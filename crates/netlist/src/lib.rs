@@ -13,7 +13,7 @@
 //! * a levelized, event-free [`sim::Simulator`] for combinational and
 //!   sequential functional simulation (this is the "oracle" of the threat
 //!   model — the activated chip with full scan access),
-//! * equivalence checking ([`equiv`]) — exhaustive for small cones, Monte
+//! * equivalence checking ([`equiv()`](equiv::equiv)) — exhaustive for small cones, Monte
 //!   Carlo for larger ones (the JasperGold stand-in),
 //! * a structural-Verilog subset writer and parser ([`verilog`]),
 //! * a word-level [`builder::NetlistBuilder`] used by the benchmark

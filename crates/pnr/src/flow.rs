@@ -301,6 +301,7 @@ fn run_fit_loop_hybrid(
     config: FabricConfig,
     options: &PnrOptions,
 ) -> Result<PnrResult, PnrError> {
+    let _span = shell_trace::span!("pnr.fit");
     let chain_blocks: usize = assignment
         .chains
         .iter()
@@ -315,6 +316,8 @@ fn run_fit_loop_hybrid(
             .budget
             .checkpoint()
             .map_err(|why| PnrError::Exhausted(format!("fit loop: {why}")))?;
+        let _attempt_span = shell_trace::span!("pnr.fit_attempt", attempt = attempt);
+        shell_trace::counter_add("pnr.fit_attempts", 1);
         let fabric = Fabric::generate(config.clone(), w, h);
         if std::env::var("PNR_DEBUG").is_ok() {
             eprintln!("attempt {attempt}: {}x{}", fabric.width(), fabric.height());

@@ -261,6 +261,7 @@ pub fn place_with_hints_budgeted(
     pad_averse_tiles: &std::collections::HashSet<(usize, usize)>,
     budget: &Budget,
 ) -> Result<Placement, String> {
+    let _span = shell_trace::span!("place.anneal");
     let per_clb = fabric.config().luts_per_clb;
     let capacity = fabric.lut_sites();
     if slots.len() > capacity {
@@ -398,7 +399,9 @@ pub fn place_with_hints_budgeted(
     let mut best_slot_at = slot_at.clone();
     let mut best_cost = cost;
     let mut degraded = None;
+    let mut moves_done = 0u64;
     for m in 0..moves {
+        moves_done += 1;
         if m % 256 == 0 {
             if let Err(why) = budget.checkpoint() {
                 degraded = Some(why);
@@ -434,6 +437,8 @@ pub fn place_with_hints_budgeted(
     }
     rebuild_positions(&slot_at, &mut positions);
     cost = hpwl(&positions);
+    shell_trace::counter_add("place.moves", moves_done);
+    shell_trace::gauge("place.hpwl", cost);
 
     // IO assignment: each PI pad near the centroid of its reading slots;
     // each PO pad near its driving slot. Greedy with uniqueness. Input and

@@ -207,6 +207,7 @@ impl<'f> Router<'f> {
         max_iterations: usize,
         budget: &Budget,
     ) -> Result<RoutingResult, RouteError> {
+        let _span = shell_trace::span!("route.negotiate");
         let unroutable = |net: usize| RouteError::Unroutable { net };
         let n_nodes = self.width * self.height * self.tracks;
         let mut routes: HashMap<usize, RoutedNet> = HashMap::new();
@@ -252,6 +253,7 @@ impl<'f> Router<'f> {
         let mut iterations = 1;
         for iter in 1..max_iterations {
             budget.checkpoint().map_err(RouteError::Exhausted)?;
+            let _pass = shell_trace::span!("route.pass", iteration = iter);
             iterations = iter + 1;
             // Rebuild occupancy from the authoritative route set: the
             // incremental bookkeeping must never drift, and a stale phantom
@@ -289,6 +291,7 @@ impl<'f> Router<'f> {
                     over += 1;
                 }
             }
+            shell_trace::gauge("route.overuse", over as f64);
             for (i, o) in occupancy.iter().enumerate() {
                 if *o > 1 {
                     self.history[i] += (*o - 1) as f64;
@@ -358,6 +361,10 @@ impl<'f> Router<'f> {
         iteration: usize,
     ) -> Option<RoutedNet> {
         let present_penalty = 1.0 + iteration as f64 * 2.0;
+        // Relaxations are counted locally and flushed once per call: the
+        // total is a pure function of the request stream, so the counter is
+        // identical at any `SHELL_JOBS` even though calls run on workers.
+        let mut relaxations = 0u64;
         let mut tree = RoutedNet {
             nodes: HashMap::new(),
             sink_tracks: Vec::with_capacity(req.sinks.len()),
@@ -396,6 +403,7 @@ impl<'f> Router<'f> {
             }
             // SPFA-style relaxation (costs are small positive; fine here).
             while let Some(u) = queue.pop_front() {
+                relaxations += 1;
                 let du = dist[u];
                 let t = u % self.tracks;
                 let tile = u / self.tracks;
@@ -444,7 +452,11 @@ impl<'f> Router<'f> {
                         _ => None,
                     }
                 }
-            }?;
+            };
+            let Some(target) = target else {
+                shell_trace::counter_add("route.spfa_relaxations", relaxations);
+                return None;
+            };
             // Walk back, adding nodes to the tree.
             tree.sink_tracks.push(target % self.tracks);
             let mut cur = target as i64;
@@ -460,6 +472,7 @@ impl<'f> Router<'f> {
                 cur = from[i];
             }
         }
+        shell_trace::counter_add("route.spfa_relaxations", relaxations);
         Some(tree)
     }
 

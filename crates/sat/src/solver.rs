@@ -353,6 +353,24 @@ impl Solver {
     /// forced first decisions; [`SatResult::Unsat`] then means "unsat under
     /// these assumptions" and the solver remains usable.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SatResult {
+        if !shell_trace::enabled() {
+            return self.solve_inner(assumptions);
+        }
+        // One span per solve; counters carry the stat deltas so the CDCL
+        // inner loop itself stays untouched.
+        let _span = shell_trace::span!("sat.solve");
+        let before = self.stats;
+        let result = self.solve_inner(assumptions);
+        shell_trace::counter_add("sat.conflicts", self.stats.conflicts - before.conflicts);
+        shell_trace::counter_add("sat.decisions", self.stats.decisions - before.decisions);
+        shell_trace::counter_add(
+            "sat.propagations",
+            self.stats.propagations - before.propagations,
+        );
+        result
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit]) -> SatResult {
         if !self.ok {
             return SatResult::Unsat;
         }

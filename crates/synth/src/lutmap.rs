@@ -97,6 +97,7 @@ pub fn lut_map_hybrid(netlist: &Netlist, k: usize) -> Result<LutMapping, SynthEr
 }
 
 fn lut_map_impl(netlist: &Netlist, k: usize, keep_muxes: bool) -> Result<LutMapping, SynthError> {
+    let _span = shell_trace::span!("synth.lutmap");
     assert!((2..=6).contains(&k), "LUT arity must be in 2..=6");
     // Reject cycles before the cleanup passes (which assume acyclicity).
     if netlist.topo_order().is_err() {
@@ -167,12 +168,17 @@ fn lut_map_impl(netlist: &Netlist, k: usize, keep_muxes: bool) -> Result<LutMapp
                 }
             })
         };
+        let mut cuts_enumerated = 0u64;
         for (out, node_cuts, d) in results {
             net_depth[out.index()] = d;
             if let Some(nc) = node_cuts {
+                cuts_enumerated += nc.len() as u64;
                 cuts.insert(out, nc);
             }
         }
+        // Counted at the sequential commit, so the total is independent of
+        // how the parallel enumeration was grained.
+        shell_trace::counter_add("synth.cuts", cuts_enumerated);
     }
 
     // --- Phase 2: covering ----------------------------------------------

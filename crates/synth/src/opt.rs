@@ -530,7 +530,7 @@ fn cofactor(mask: LutMask, input: usize, value: bool) -> LutMask {
 ///
 /// Fabric netlists contain cyclic routing meshes; once their configuration
 /// (key) bits are bound to constants, every mux on a configured path has a
-/// constant select and the cycles dissolve. The ordinary [`rebuild`] engine
+/// constant select and the cycles dissolve. The ordinary `rebuild` engine
 /// cannot run on cyclic input (it needs a topological order), so this pass
 /// uses a worklist instead: nets resolve to constants or aliases until a
 /// fixpoint, then the netlist is rebuilt with the substitutions applied.

@@ -10,10 +10,29 @@
 //! | [`rng`]   | `rand`      | SplitMix64-seeded xoshiro256** ([`Rng`])          |
 //! | [`prop`]  | `proptest`  | [`forall`] seeded property harness with shrinking |
 //! | [`json`]  | `serde`     | [`Json`] value, writer and parser                 |
-//! | [`bench`] | `criterion` | [`Bench`] warmup+iters timer, median/p95 report   |
+//! | [`bench`](mod@bench) | `criterion` | [`Bench`] warmup+iters timer, median/p95 report   |
 //!
 //! Everything is pure `std`; there is no global state, no OS entropy, and
 //! no wall-clock input anywhere except the bench timer's `Instant` reads.
+//!
+//! # Example
+//!
+//! ```
+//! use shell_util::{Json, Rng};
+//!
+//! // Seeded PRNG: the same seed always replays the same stream.
+//! let mut a = Rng::seed_from_u64(42);
+//! let mut b = Rng::seed_from_u64(42);
+//! assert_eq!(a.gen_range(0..1000), b.gen_range(0..1000));
+//!
+//! // JSON with insertion-ordered keys: artifacts are byte-reproducible.
+//! let doc = Json::obj([
+//!     ("design", Json::Str("axi_xbar".into())),
+//!     ("luts", Json::Num(128.0)),
+//! ]);
+//! let text = doc.to_string_compact();
+//! assert_eq!(Json::parse(&text).unwrap(), doc);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -62,6 +62,7 @@ fn key_assumptions(
 /// mismatches, sequential designs (use [`equiv_sat_bounded`]),
 /// combinational cycles, latches, or an exhausted conflict budget.
 pub fn equiv_sat(a: &Netlist, b: &Netlist, lhs_key: &[bool], rhs_key: &[bool]) -> EquivResult {
+    let _span = shell_trace::span!("verify.equiv_sat");
     if let Some(bad) = shape_check(a, b, lhs_key, rhs_key) {
         return bad;
     }

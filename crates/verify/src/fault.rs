@@ -207,6 +207,7 @@ pub fn fault_campaign(
     faults: usize,
     seed: u64,
 ) -> FaultCampaignReport {
+    let _span = shell_trace::span!("verify.fault_campaign");
     let list = fault_list(bitstream, faults, seed);
     let records = shell_exec::parallel_map(&list, |&fault| {
         let used = bitstream.is_used(fault.bit);

@@ -246,13 +246,14 @@ fn verdict(r: &EquivResult) -> &'static str {
 ///    ([`to_configured_netlist`], constants propagated) vs the LUT mapping,
 /// 3. `activate` — the *locked* fabric with the bitstream bound as a key
 ///    ([`bind_keys`]) vs the configured fabric, and
-/// 4. `shell_lock` — the end-to-end [`shell_lock`] → [`activate`] round
+/// 4. `shell_lock` — the end-to-end [`shell_lock()`](shell_lock::shell_lock) → [`activate`] round
 ///    trip vs the base netlist.
 ///
 /// Pipeline steps that error (fabric does not fit, residual combinational
 /// cycle) end the sample as [`SampleStatus::Skipped`]; the fuzzer's job is
 /// functional agreement, not fit coverage.
 pub fn run_pipeline(spec: &FuzzSpec) -> SampleStatus {
+    let _span = shell_trace::span!("verify.fuzz_sample");
     let base = spec.build();
 
     let mapped = lut_map_hybrid(&base, 4).expect("acyclic").netlist;

@@ -3,7 +3,7 @@
 //! Simulation-based equivalence checking (in `shell-netlist`) can only
 //! *find* counterexamples on wide designs; this crate adds the exact side:
 //!
-//! * [`equiv_sat`] — combinational equivalence by SAT miter, built on the
+//! * [`equiv_sat()`] — combinational equivalence by SAT miter, built on the
 //!   same [`shell_sat::encode_miter`] CNF the oracle-guided SAT attack
 //!   uses. UNSAT is a proof; a model is replayed through simulation before
 //!   being reported as a counterexample.
@@ -22,7 +22,7 @@
 //! through a backend registry: call [`install`] once at startup (the `fuzz`
 //! binary and the PnR verification path rely on it) and every
 //! `equiv(.., Method::Sat)` call anywhere in the workspace resolves to
-//! [`equiv_sat`].
+//! [`equiv_sat()`].
 //!
 //! [`Method::Sat`]: shell_netlist::Method
 
@@ -40,7 +40,7 @@ pub use fuzz::{
     replay_artifact, run_pipeline, FuzzConfig, FuzzReport, FuzzSpec, SampleReport, SampleStatus,
 };
 
-/// Registers [`equiv_sat`] as the process-wide backend for
+/// Registers [`equiv_sat()`] as the process-wide backend for
 /// [`shell_netlist::Method::Sat`]. Idempotent; returns `false` only if a
 /// *different* backend was installed first.
 pub fn install() -> bool {

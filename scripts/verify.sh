@@ -50,6 +50,49 @@ SHELL_JOBS=4 cargo test -q --offline
 echo "== cargo build --offline --benches --examples --bins =="
 cargo build -q --offline --benches --examples --bins
 
+# Documentation is part of the contract: the public-API docs must build
+# with zero warnings (broken intra-doc links are the usual regression).
+echo "== cargo doc --no-deps (RUSTDOCFLAGS=-D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q --offline --no-deps
+echo "ok"
+
+# And the prose must not rot: every relative link in the top-level
+# markdown docs has to resolve to a file in the repo.
+echo "== markdown link check: local links in *.md must resolve =="
+md_bad=""
+for f in *.md; do
+    while IFS= read -r target; do
+        target="${target%%#*}"                       # drop fragment
+        [ -z "$target" ] && continue
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;  # external
+        esac
+        [ -e "$target" ] || md_bad="${md_bad}${f}: broken link -> ${target}"$'\n'
+    done < <(grep -oE '\]\([^)]+\)' "$f" | sed -e 's/^](//' -e 's/)$//')
+done
+if [ -n "$md_bad" ]; then
+    printf '%s' "$md_bad" >&2
+    exit 1
+fi
+echo "ok"
+
+# Trace smoke: SHELL_TRACE=1 must produce a loadable Chrome trace without
+# perturbing the run (the fault report below is compared untraced).
+echo "== trace smoke: SHELL_TRACE=1 emits results/trace/*.json =="
+rm -f results/trace/fault_campaign.json results/trace/fault_campaign.summary.txt
+SHELL_TRACE=1 SHELL_JOBS=2 cargo run -q --release --offline --bin fault_campaign -- \
+    --faults 24 --seed 7 --out FAULT_trace_smoke >/dev/null
+grep -q '"traceEvents"' results/trace/fault_campaign.json || {
+    echo "trace smoke produced no Chrome trace" >&2
+    exit 1
+}
+test -s results/trace/fault_campaign.summary.txt || {
+    echo "trace smoke produced no span summary" >&2
+    exit 1
+}
+rm -f results/FAULT_trace_smoke.json
+echo "ok"
+
 # Differential-fuzz smoke: the full lock pipeline, stage boundaries
 # miter-checked, at two job counts. Zero mismatches is correctness; the
 # byte-identical reports are the determinism contract (the fuzz report

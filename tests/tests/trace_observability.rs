@@ -1,0 +1,118 @@
+//! Observability determinism: the shell-trace layer must describe the same
+//! workload identically at any `SHELL_JOBS` setting — the normalized
+//! summary (timings stripped) is compared byte for byte — and the Chrome
+//! trace export must round-trip through the in-tree JSON parser.
+
+use shell_circuits::axi_xbar;
+use shell_fabric::FabricConfig;
+use shell_pnr::{place_and_route_with_chains, PnrOptions};
+use shell_trace::{Summary, SummaryMode, Tracer};
+use std::sync::Mutex;
+
+/// The tracer is process-global and `#[test]`s share the process: every
+/// test that installs one serializes on this lock.
+static GLOBAL_TRACER: Mutex<()> = Mutex::new(());
+
+/// Runs the full chain flow under a fresh tracer at the given worker count
+/// and returns the snapshot.
+fn traced_flow(jobs: usize) -> shell_trace::TraceData {
+    let design = axi_xbar(4, 2);
+    let opts = PnrOptions::default();
+    shell_trace::install(Tracer::new());
+    shell_exec::with_jobs(jobs, || {
+        place_and_route_with_chains(&design, FabricConfig::fabulous_style(true), &opts)
+            .expect("maps");
+    });
+    shell_trace::uninstall().expect("tracer installed").snapshot()
+}
+
+#[test]
+fn normalized_summary_identical_across_jobs() {
+    let _lock = GLOBAL_TRACER.lock().unwrap();
+    let sequential = Summary::of(&traced_flow(1)).render(SummaryMode::Normalized);
+    let parallel = Summary::of(&traced_flow(4)).render(SummaryMode::Normalized);
+    assert!(
+        !sequential.is_empty(),
+        "the flow must emit at least one event"
+    );
+    assert_eq!(
+        sequential, parallel,
+        "normalized span summary must not depend on SHELL_JOBS"
+    );
+}
+
+#[test]
+fn flow_emits_expected_taxonomy() {
+    let _lock = GLOBAL_TRACER.lock().unwrap();
+    let data = traced_flow(2);
+    let summary = Summary::of(&data);
+    let span_names: Vec<&str> = summary.spans.iter().map(|r| r.name.as_str()).collect();
+    for expected in ["synth.lutmap", "place.anneal", "route.negotiate", "pnr.fit"] {
+        assert!(
+            span_names.contains(&expected),
+            "expected span {expected} in {span_names:?}"
+        );
+    }
+    let counter_names: Vec<&str> = summary.counters.iter().map(|(n, _)| n.as_str()).collect();
+    for expected in ["pnr.fit_attempts", "place.moves", "route.spfa_relaxations", "synth.cuts"] {
+        assert!(
+            counter_names.contains(&expected),
+            "expected counter {expected} in {counter_names:?}"
+        );
+    }
+    let gauge_names: Vec<&str> = summary.gauges.iter().map(|g| g.name.as_str()).collect();
+    assert!(
+        gauge_names.contains(&"place.hpwl"),
+        "expected gauge place.hpwl in {gauge_names:?}"
+    );
+    // Timed and normalized renders agree on structure: same row names.
+    let timed = summary.render(SummaryMode::Timed);
+    for name in span_names {
+        assert!(timed.contains(name));
+    }
+}
+
+#[test]
+fn chrome_export_parses_and_carries_all_spans() {
+    let _lock = GLOBAL_TRACER.lock().unwrap();
+    let data = traced_flow(2);
+    let text = shell_trace::chrome_trace(&data).to_string_pretty();
+    let parsed = shell_util::Json::parse(&text).expect("chrome trace is valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    let complete_events = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .count();
+    assert_eq!(
+        complete_events,
+        data.span_count(),
+        "every span becomes one complete event"
+    );
+    // Perfetto requires ts/dur/pid/tid on complete events.
+    for ev in events {
+        if ev.get("ph").and_then(|p| p.as_str()) == Some("X") {
+            for field in ["ts", "dur", "pid", "tid", "name", "cat"] {
+                assert!(ev.get(field).is_some(), "complete event missing {field}");
+            }
+        }
+    }
+}
+
+#[test]
+fn disabled_tracing_emits_nothing_and_costs_no_events() {
+    let _lock = GLOBAL_TRACER.lock().unwrap();
+    assert!(shell_trace::uninstall().is_none(), "no tracer leaked in");
+    let design = axi_xbar(4, 2);
+    let opts = PnrOptions::default();
+    place_and_route_with_chains(&design, FabricConfig::fabulous_style(true), &opts)
+        .expect("maps");
+    assert!(shell_trace::current().is_none());
+    // A tracer installed *after* the run sees a clean slate.
+    shell_trace::install(Tracer::new());
+    let data = shell_trace::uninstall().unwrap().snapshot();
+    assert_eq!(data.span_count(), 0);
+    assert!(data.counters.is_empty());
+}
