@@ -8,6 +8,24 @@
 //! remaining key candidate is functionally correct; one is extracted and
 //! verified.
 //!
+//! The DIP loop runs in one of two modes ([`DipMode`]). The default,
+//! [`DipMode::Incremental`], keeps **one persistent solver** for the whole
+//! attack: the miter is encoded once with its difference clause gated behind
+//! an activation literal, each DIP appends two IO-pinned circuit copies to
+//! the same solver, and learned clauses plus VSIDS/phase state carry across
+//! iterations. Key extraction flips the activation literal on that same
+//! solver instead of building another one. [`DipMode::Scratch`] rebuilds the
+//! solver from the DIP prefix every iteration — the pre-incremental
+//! reference behavior, kept for benchmarking (`bench_sat`) and as a
+//! cross-check oracle in tests.
+//!
+//! Either way each iteration is a pure function of the DIP prefix, which is
+//! the property the checkpoint format depends on: a resumed incremental run
+//! *replays* the prefix solves deterministically from iteration 0 (using the
+//! recorded oracle responses, so the oracle is not re-queried), arriving at
+//! the exact solver state the interrupted run had — and therefore at the
+//! same key, conflict totals, and byte-identical report JSON.
+//!
 //! Sequential designs enter through [`scan_frame`], matching the paper's
 //! full-scan threat model: flip-flop outputs become scannable pseudo-inputs
 //! and data pins pseudo-outputs, so a single combinational frame carries the
@@ -16,12 +34,50 @@
 use shell_guard::{Budget, Exhausted};
 use shell_netlist::equiv::{equiv_exhaustive, equiv_random, EquivResult};
 use shell_netlist::{CellKind, NetId, Netlist};
-use shell_sat::{encode_miter, encode_netlist, Lit, SatResult, Solver};
+use shell_sat::{
+    encode_miter, encode_miter_gated, encode_netlist, Lit, SatResult, Solver, Var,
+};
 use shell_util::Json;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Default conflict quota — the 48-hour stand-in at laptop scale.
 pub const DEFAULT_CONFLICT_QUOTA: u64 = 2_000_000;
+
+/// How the DIP loop manages its solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DipMode {
+    /// One persistent solver across all DIP iterations and key extraction:
+    /// the miter is encoded once (difference clause gated by an activation
+    /// literal), DIP constraints append incrementally, and learned clauses
+    /// carry over. Resume replays the DIP prefix from iteration 0 to
+    /// rebuild the solver state deterministically.
+    #[default]
+    Incremental,
+    /// Rebuild the solver from the DIP prefix every iteration. Slower, but
+    /// each iteration is trivially independent; used as the benchmark
+    /// baseline and as a differential oracle for the incremental mode.
+    Scratch,
+}
+
+impl DipMode {
+    /// Stable serialization label (checkpoint JSON, bench output).
+    pub fn label(self) -> &'static str {
+        match self {
+            DipMode::Incremental => "incremental",
+            DipMode::Scratch => "scratch",
+        }
+    }
+
+    /// Inverse of [`DipMode::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        match s {
+            "incremental" => Some(DipMode::Incremental),
+            "scratch" => Some(DipMode::Scratch),
+            _ => None,
+        }
+    }
+}
 
 /// Attack configuration.
 #[derive(Debug, Clone)]
@@ -33,6 +89,8 @@ pub struct SatAttackOptions {
     /// [`DEFAULT_CONFLICT_QUOTA`] conflicts plus whatever deadline
     /// `SHELL_DEADLINE_MS` specifies (see [`Budget::from_env`]).
     pub budget: Budget,
+    /// Solver lifecycle across DIP iterations (see [`DipMode`]).
+    pub mode: DipMode,
     /// Verify the extracted key against the oracle before claiming success.
     pub verify_key: bool,
     /// Vectors for the Monte-Carlo verification of wide designs.
@@ -41,8 +99,9 @@ pub struct SatAttackOptions {
     /// every completed DIP iteration (best-effort: I/O errors are ignored
     /// so a full disk cannot kill the attack).
     pub checkpoint_path: Option<PathBuf>,
-    /// Resume state from an earlier exhausted run: the DIP loop continues
-    /// from the recorded prefix instead of iteration 0.
+    /// Resume state from an earlier exhausted run. Scratch mode continues
+    /// from the recorded prefix; incremental mode replays the prefix solves
+    /// first to reconstruct the persistent solver, then continues.
     pub resume_from: Option<AttackCheckpoint>,
 }
 
@@ -51,6 +110,7 @@ impl Default for SatAttackOptions {
         Self {
             max_iterations: 512,
             budget: Budget::from_env().with_quota(DEFAULT_CONFLICT_QUOTA),
+            mode: DipMode::default(),
             verify_key: true,
             verify_vectors: 512,
             checkpoint_path: None,
@@ -60,20 +120,25 @@ impl Default for SatAttackOptions {
 }
 
 /// Resumable state of an interrupted SAT attack: the DIP/response prefix
-/// plus spend bookkeeping. Because the DIP loop re-encodes from scratch
-/// every iteration, this prefix determines the rest of the attack exactly —
-/// a resumed run produces the same key, iteration count, and conflict total
-/// as an uninterrupted one.
+/// plus spend bookkeeping. The DIP prefix determines the rest of the attack
+/// exactly (in both [`DipMode`]s), so a resumed run produces the same key,
+/// iteration count, and conflict total as an uninterrupted one.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttackCheckpoint {
     /// Name of the locked design the checkpoint belongs to (sanity-checked
     /// on resume).
     pub design: String,
+    /// The [`DipMode`] that recorded this checkpoint. Resume refuses a
+    /// mode mismatch: the DIP *sequences* of the two modes agree, but their
+    /// budget-spend trajectories do not, so silently crossing modes would
+    /// break the resumed-equals-uninterrupted accounting contract.
+    pub mode: DipMode,
     /// Completed DIP iterations.
     pub iterations: usize,
-    /// Solver conflicts spent by the completed iterations (partial work of
-    /// an interrupted iteration is *not* recorded; the iteration re-runs in
-    /// full on resume, which is what keeps resumed totals identical).
+    /// Solver conflicts spent by the completed iterations. Partial work of
+    /// an interrupted iteration is *not* recorded — and is excluded from
+    /// the interrupted run's report too, so report and checkpoint always
+    /// agree; the iteration re-runs in full on resume.
     pub conflicts_spent: u64,
     /// The `(dip, oracle response)` pairs recorded so far.
     pub dips: Vec<(Vec<bool>, Vec<bool>)>,
@@ -84,6 +149,7 @@ impl AttackCheckpoint {
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("design", Json::Str(self.design.clone())),
+            ("mode", Json::Str(self.mode.label().to_string())),
             ("iterations", Json::Num(self.iterations as f64)),
             ("conflicts_spent", Json::Num(self.conflicts_spent as f64)),
             (
@@ -101,13 +167,20 @@ impl AttackCheckpoint {
         ])
     }
 
-    /// Parses the [`AttackCheckpoint::to_json`] schema.
+    /// Parses the [`AttackCheckpoint::to_json`] schema. A missing `mode`
+    /// field (checkpoints from before the incremental attack landed) reads
+    /// as [`DipMode::Scratch`], which is what recorded it back then.
     pub fn from_json(json: &Json) -> Result<Self, String> {
         let design = json
             .get("design")
             .and_then(Json::as_str)
             .ok_or("checkpoint: missing `design`")?
             .to_string();
+        let mode = match json.get("mode").and_then(Json::as_str) {
+            Some(label) => DipMode::from_label(label)
+                .ok_or_else(|| format!("checkpoint: unknown mode `{label}`"))?,
+            None => DipMode::Scratch,
+        };
         let iterations = json
             .get("iterations")
             .and_then(Json::as_usize)
@@ -141,6 +214,7 @@ impl AttackCheckpoint {
         }
         Ok(Self {
             design,
+            mode,
             iterations,
             conflicts_spent,
             dips,
@@ -202,6 +276,24 @@ impl SatAttackOutcome {
     }
 }
 
+/// Deterministic per-iteration solve cost of one DIP, plus wall time.
+///
+/// The counter fields are run-invariant (same in a resumed replay); `nanos`
+/// is wall clock and therefore excluded from [`AttackReport::to_json`]
+/// along with the rest of this struct — it feeds `bench_sat` curves, not
+/// the report contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DipCost {
+    /// Solver conflicts of this iteration's DIP solve.
+    pub conflicts: u64,
+    /// Decisions of this iteration's DIP solve.
+    pub decisions: u64,
+    /// Propagations of this iteration's DIP solve.
+    pub propagations: u64,
+    /// Wall time of the solve (not deterministic; never serialized).
+    pub nanos: u64,
+}
+
 /// Full attack report: the outcome plus partial-progress accounting, so an
 /// exhausted attack says *how far* it got instead of silently stopping.
 #[derive(Debug, Clone)]
@@ -210,9 +302,11 @@ pub struct AttackReport {
     pub outcome: SatAttackOutcome,
     /// DIPs recorded (including any restored from a resume checkpoint).
     pub dips_found: usize,
-    /// Solver conflicts spent, cumulative across every solver the attack
-    /// built (including partial work of an interrupted iteration and the
-    /// key-extraction solve).
+    /// Solver conflicts spent by *completed* work: every finished DIP
+    /// iteration plus the key-extraction solve. Partial work of an
+    /// interrupted iteration is excluded — the checkpoint excludes it too,
+    /// so an interrupted report and its checkpoint always agree, and a
+    /// resumed run reproduces the uninterrupted total exactly.
     pub conflicts_spent: u64,
     /// Why the attack stopped early, when it did.
     pub stop: Option<Exhausted>,
@@ -221,6 +315,10 @@ pub struct AttackReport {
     /// [`AttackReport::to_json`] so resumed and uninterrupted runs emit
     /// byte-identical reports.
     pub resumed_from: usize,
+    /// Per-DIP solve costs in iteration order (replayed iterations
+    /// included, so the curve always starts at iteration 0). Excluded from
+    /// [`AttackReport::to_json`]: the `nanos` field is wall clock.
+    pub per_dip: Vec<DipCost>,
     /// Where the last checkpoint was written, if checkpointing was on.
     pub checkpoint_written: Option<PathBuf>,
 }
@@ -228,7 +326,8 @@ pub struct AttackReport {
 impl AttackReport {
     /// Deterministic report JSON. Contains only run-invariant fields: a run
     /// resumed from a checkpoint serializes byte-identically to the same
-    /// attack run uninterrupted.
+    /// attack run uninterrupted, and both [`DipMode`]s serialize
+    /// identically when they agree on the DIP sequence.
     pub fn to_json(&self) -> Json {
         let (status, key, iterations, conflicts) = match &self.outcome {
             SatAttackOutcome::Broken {
@@ -268,6 +367,42 @@ impl AttackReport {
     }
 }
 
+/// Typed failure of [`try_scan_frame`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanError {
+    /// The design contains a transparent latch; scan frames model
+    /// edge-triggered DFFs only.
+    Latch {
+        /// Name of the offending cell.
+        cell: String,
+    },
+    /// A DFF data pin is fed by a net that no cell drives and no port
+    /// realizes, so the scan output would be undefined.
+    UnrealizedDataPin {
+        /// Name of the DFF whose data pin is unrealized.
+        cell: String,
+    },
+    /// The combinational core of the design is cyclic.
+    Cyclic,
+}
+
+impl std::fmt::Display for ScanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScanError::Latch { cell } => {
+                write!(f, "latch `{cell}` not supported in scan frames")
+            }
+            ScanError::UnrealizedDataPin { cell } => write!(
+                f,
+                "data pin of DFF `{cell}` is fed by an unrealized net"
+            ),
+            ScanError::Cyclic => write!(f, "cyclic netlist"),
+        }
+    }
+}
+
+impl std::error::Error for ScanError {}
+
 /// Converts a sequential netlist into its full-scan combinational frame:
 /// every DFF output becomes a primary input `scan_q<i>` and every DFF data
 /// pin a primary output `scan_d<i>`. Combinational designs pass through
@@ -275,24 +410,20 @@ impl AttackReport {
 ///
 /// ```
 /// use shell_netlist::{Netlist, CellKind};
-/// use shell_attacks::scan_frame;
+/// use shell_attacks::try_scan_frame;
 ///
 /// let mut n = Netlist::new("ff");
 /// let d = n.add_input("d");
 /// let q = n.add_cell("ff", CellKind::Dff, vec![d]);
 /// n.add_output("q", q);
-/// let frame = scan_frame(&n);
+/// let frame = try_scan_frame(&n).unwrap();
 /// assert!(frame.is_combinational());
 /// assert_eq!(frame.inputs().len(), 2);   // d + scan_q0
 /// assert_eq!(frame.outputs().len(), 2);  // q + scan_d0
 /// ```
-///
-/// # Panics
-///
-/// Panics when the netlist contains latches.
-pub fn scan_frame(netlist: &Netlist) -> Netlist {
+pub fn try_scan_frame(netlist: &Netlist) -> Result<Netlist, ScanError> {
     if netlist.is_combinational() {
-        return netlist.clone();
+        return Ok(netlist.clone());
     }
     let mut out = Netlist::new(format!("{}_frame", netlist.name()));
     let mut map: Vec<Option<NetId>> = vec![None; netlist.net_count()];
@@ -310,14 +441,14 @@ pub fn scan_frame(netlist: &Netlist) -> Netlist {
     seq.sort_by(|&a, &b| netlist.cell(a).name.cmp(&netlist.cell(b).name));
     for (i, &cid) in seq.iter().enumerate() {
         let c = netlist.cell(cid);
-        assert!(
-            c.kind == CellKind::Dff,
-            "latch `{}` not supported in scan frames",
-            c.name
-        );
+        if c.kind != CellKind::Dff {
+            return Err(ScanError::Latch {
+                cell: c.name.clone(),
+            });
+        }
         map[c.output.index()] = Some(out.add_input(format!("scan_q{i}")));
     }
-    let order = netlist.topo_order().expect("cyclic netlist");
+    let order = netlist.topo_order().map_err(|_| ScanError::Cyclic)?;
     let resolve = |out: &mut Netlist, map: &mut Vec<Option<NetId>>, n: NetId| -> NetId {
         if let Some(m) = map[n.index()] {
             m
@@ -344,13 +475,64 @@ pub fn scan_frame(netlist: &Netlist) -> Netlist {
         let m = resolve(&mut out, &mut map, *n);
         out.add_output(name.clone(), m);
     }
-    // DFF data pins become scan outputs.
+    // DFF data pins become scan outputs. Unlike primary outputs (which may
+    // legitimately read a floating net the design never drove), a dangling
+    // data pin means the frame would invent state — a typed error, not a
+    // silently-wrong frame.
     for (i, &cid) in seq.iter().enumerate() {
-        let d = netlist.cell(cid).inputs[0];
-        let m = map[d.index()].expect("data pin realized");
+        let c = netlist.cell(cid);
+        let d = c.inputs[0];
+        let m = map[d.index()].ok_or_else(|| ScanError::UnrealizedDataPin {
+            cell: c.name.clone(),
+        })?;
         out.add_output(format!("scan_d{i}"), m);
     }
-    out
+    Ok(out)
+}
+
+/// Panicking wrapper over [`try_scan_frame`], for callers that treat a
+/// malformed design as a programming error.
+///
+/// # Panics
+///
+/// Panics with the [`ScanError`] message on latches, cyclic cores, or
+/// unrealized DFF data pins.
+pub fn scan_frame(netlist: &Netlist) -> Netlist {
+    try_scan_frame(netlist).unwrap_or_else(|e| panic!("scan_frame: {e}"))
+}
+
+/// XOR-locks `oracle` by inserting one key XOR per primary output, on the
+/// first `min(bits, outputs)` outputs (odd key bits are planted inverted so
+/// the correct key is not all-zeros).
+///
+/// Because every key bit is independently observable at its own output,
+/// **exactly one** key is functionally correct. That makes this lock the
+/// determinism yardstick for the attack modes: any sound attack must
+/// recover this exact key, so `bench_sat` and the cross-mode tests can
+/// compare recovered keys bit-for-bit. (Contrast with internal-node XOR
+/// locks, where chained inversions can cancel and many keys are correct.)
+///
+/// Returns the locked netlist and the unique correct key.
+pub fn xor_lock_outputs(oracle: &Netlist, bits: usize) -> (Netlist, Vec<bool>) {
+    let mut locked = oracle.clone();
+    locked.set_name(format!("{}_xl", oracle.name()));
+    let n = bits.min(locked.outputs().len());
+    let mut key = Vec::with_capacity(n);
+    for i in 0..n {
+        let net = locked.outputs()[i].1;
+        let k = locked.add_key_input(format!("xk{i}"));
+        let invert = i % 2 == 1;
+        let src = if invert {
+            key.push(true);
+            locked.add_cell(format!("xl_inv{i}"), CellKind::Not, vec![net])
+        } else {
+            key.push(false);
+            net
+        };
+        let gate = locked.add_cell(format!("xl{i}"), CellKind::Xor, vec![src, k]);
+        locked.set_output_net(i, gate);
+    }
+    (locked, key)
 }
 
 /// Runs the oracle-guided SAT attack on `locked` against `oracle`.
@@ -372,19 +554,14 @@ pub fn sat_attack(
 }
 
 /// The full attack driver: [`sat_attack`] plus progress accounting,
-/// per-iteration checkpointing, and resume.
-///
-/// The DIP loop rebuilds the solver from scratch every iteration (miter +
-/// every recorded DIP constraint), making each iteration a pure function of
-/// the DIP prefix. That costs re-encoding work but buys the property the
-/// checkpoint format depends on: interrupting the attack at any point and
-/// resuming from the prefix replays the remaining iterations *exactly* —
-/// same DIPs, same key, same conflict totals, byte-identical report JSON.
+/// per-iteration checkpointing, and resume. Dispatches on
+/// [`SatAttackOptions::mode`]; both modes walk the same DIP sequence and
+/// emit identical report JSON (see the [module docs](self)).
 ///
 /// # Panics
 ///
 /// Panics on shape mismatches, non-combinational inputs, or a resume
-/// checkpoint recorded for a different design name.
+/// checkpoint recorded for a different design name or [`DipMode`].
 pub fn sat_attack_report(
     locked: &Netlist,
     oracle: &Netlist,
@@ -404,35 +581,141 @@ pub fn sat_attack_report(
         oracle.outputs().len(),
         "output shape mismatch"
     );
+    if let Some(cp) = &options.resume_from {
+        assert_eq!(
+            cp.design,
+            locked.name(),
+            "resume checkpoint was recorded for a different design"
+        );
+        assert_eq!(
+            cp.mode,
+            options.mode,
+            "resume checkpoint was recorded by a {} run, not {}",
+            cp.mode.label(),
+            options.mode.label()
+        );
+    }
+    match options.mode {
+        DipMode::Incremental => incremental_attack(locked, oracle, options),
+        DipMode::Scratch => scratch_attack(locked, oracle, options),
+    }
+}
 
-    let (mut iterations, mut conflicts, mut dips, resumed_from) = match &options.resume_from {
-        Some(cp) => {
-            assert_eq!(
-                cp.design,
-                locked.name(),
-                "resume checkpoint was recorded for a different design"
-            );
-            (cp.iterations, cp.conflicts_spent, cp.dips.clone(), cp.iterations)
-        }
-        None => (0, 0, Vec::new(), 0),
+/// Writes a best-effort checkpoint; `None` when checkpointing is off or the
+/// write failed (checkpointing must never kill the attack).
+fn write_checkpoint(
+    locked: &Netlist,
+    options: &SatAttackOptions,
+    iterations: usize,
+    conflicts: u64,
+    dips: &[(Vec<bool>, Vec<bool>)],
+) -> Option<PathBuf> {
+    let path = options.checkpoint_path.as_ref()?;
+    let cp = AttackCheckpoint {
+        design: locked.name().to_string(),
+        mode: options.mode,
+        iterations,
+        conflicts_spent: conflicts,
+        dips: dips.to_vec(),
     };
+    cp.save(path).ok().map(|()| path.clone())
+}
+
+/// Appends one IO-pinned copy of `locked` (keys shared with `keys`) for the
+/// recorded `(dip, response)` pair — the step that "teaches" a key
+/// candidate set the oracle's answer.
+fn pin_dip_copy(
+    solver: &mut Solver,
+    locked: &Netlist,
+    keys: &[Var],
+    dip: &[bool],
+    response: &[bool],
+) {
+    let fresh = encode_netlist(solver, locked, None, Some(keys));
+    for (i, &v) in fresh.inputs.iter().enumerate() {
+        solver.add_clause(&[Lit::new(v, dip[i])]);
+    }
+    for (o, &v) in fresh.outputs.iter().enumerate() {
+        solver.add_clause(&[Lit::new(v, response[o])]);
+    }
+}
+
+/// Builds the final report once the miter goes UNSAT and a key candidate
+/// has been extracted (or not).
+#[allow(clippy::too_many_arguments)]
+fn unsat_report(
+    locked: &Netlist,
+    oracle: &Netlist,
+    options: &SatAttackOptions,
+    key: Option<Vec<bool>>,
+    iterations: usize,
+    conflicts: u64,
+    dips_found: usize,
+    resumed_from: usize,
+    per_dip: Vec<DipCost>,
+    checkpoint_written: Option<PathBuf>,
+) -> AttackReport {
+    let outcome = match key {
+        Some(key) => {
+            if !options.verify_key || verify_key(locked, oracle, &key, options.verify_vectors) {
+                SatAttackOutcome::Broken {
+                    key,
+                    iterations,
+                    conflicts,
+                }
+            } else {
+                SatAttackOutcome::WrongKey { key, iterations }
+            }
+        }
+        None => SatAttackOutcome::WrongKey {
+            key: Vec::new(),
+            iterations,
+        },
+    };
+    AttackReport {
+        outcome,
+        dips_found,
+        conflicts_spent: conflicts,
+        stop: None,
+        resumed_from,
+        per_dip,
+        checkpoint_written,
+    }
+}
+
+/// The persistent-solver DIP loop ([`DipMode::Incremental`]).
+///
+/// One gated miter is encoded once; every iteration solves under the
+/// `+activation` assumption, appends the found DIP's two IO-pinned copies,
+/// and keeps all learned clauses. On resume the loop starts from iteration
+/// 0 and *replays* the checkpoint prefix: the solves re-run (deterministic,
+/// so they re-find the recorded DIPs — asserted), the recorded oracle
+/// responses are reused, and checkpoint writes are suppressed until the
+/// replay passes the prefix, protecting the on-disk checkpoint from a
+/// mid-replay crash.
+fn incremental_attack(
+    locked: &Netlist,
+    oracle: &Netlist,
+    options: &SatAttackOptions,
+) -> AttackReport {
+    let replay: &[(Vec<bool>, Vec<bool>)] = options
+        .resume_from
+        .as_ref()
+        .map_or(&[], |cp| cp.dips.as_slice());
+    let resumed_from = replay.len();
 
     let n_inputs = locked.inputs().len();
+    let mut solver = Solver::new();
+    solver.set_budget(Some(options.budget.clone()));
+    let miter = encode_miter_gated(&mut solver, locked, locked);
+    let act = miter.activation.expect("gated miter has an activation var");
+    solver.take_delta(); // encoding cost is not a DIP-solve cost
+
+    let mut iterations = 0usize;
+    let mut conflicts = 0u64;
+    let mut dips: Vec<(Vec<bool>, Vec<bool>)> = Vec::new();
+    let mut per_dip: Vec<DipCost> = Vec::new();
     let mut checkpoint_written = None;
-    let write_checkpoint = |iterations: usize,
-                                conflicts: u64,
-                                dips: &[(Vec<bool>, Vec<bool>)]|
-     -> Option<PathBuf> {
-        let path = options.checkpoint_path.as_ref()?;
-        let cp = AttackCheckpoint {
-            design: locked.name().to_string(),
-            iterations,
-            conflicts_spent: conflicts,
-            dips: dips.to_vec(),
-        };
-        // Best effort by design: checkpointing must never kill the attack.
-        cp.save(path).ok().map(|()| path.clone())
-    };
 
     let stopped = loop {
         if iterations >= options.max_iterations {
@@ -442,79 +725,105 @@ pub fn sat_attack_report(
         // `iterations` field of the checkpoint JSON, so a trace can be
         // joined against a resumed run's checkpoint.
         let _iter_span = shell_trace::span!("attack.sat.dip", iteration = iterations);
-        // Fresh solver: miter of two copies of the locked design (shared
-        // inputs, independent key candidates, some output pair forced to
-        // differ) plus one IO-pinned copy per key set per recorded DIP.
-        let mut solver = Solver::new();
-        solver.set_budget(Some(options.budget.clone()));
-        let miter = encode_miter(&mut solver, locked, locked);
-        let (copy_a, copy_b) = (miter.lhs, miter.rhs);
-        for (dip, response) in &dips {
-            for keys in [&copy_a.keys, &copy_b.keys] {
-                let fresh = encode_netlist(&mut solver, locked, None, Some(keys));
-                for (i, &v) in fresh.inputs.iter().enumerate() {
-                    solver.add_clause(&[Lit::new(v, dip[i])]);
-                }
-                for (o, &v) in fresh.outputs.iter().enumerate() {
-                    solver.add_clause(&[Lit::new(v, response[o])]);
-                }
-            }
-        }
-        match solver.solve() {
+        let t0 = Instant::now();
+        let result = solver.solve_with_assumptions(&[Lit::pos(act)]);
+        let delta = solver.take_delta();
+        match result {
             SatResult::Unknown => {
-                // Budget exhausted mid-iteration: the partial conflicts
-                // count against the report but not the checkpoint — the
-                // iteration re-runs in full on resume.
-                conflicts += solver.stats().conflicts;
+                // Budget exhausted mid-iteration: the partial conflicts are
+                // excluded from the report, matching the checkpoint (the
+                // iteration re-runs in full on resume).
                 break Some(solver.stop_reason().unwrap_or(Exhausted::Quota));
             }
             SatResult::Unsat => {
-                conflicts += solver.stats().conflicts;
+                conflicts += delta.conflicts;
                 // Miter UNSAT: every key consistent with all recorded DIP
-                // constraints is functionally correct [6]; extract one.
-                let (key, extract_conflicts) = extract_key(locked, &dips, options);
-                conflicts += extract_conflicts;
-                let outcome = match key {
-                    Some(key) => {
-                        if !options.verify_key
-                            || verify_key(locked, oracle, &key, options.verify_vectors)
-                        {
-                            SatAttackOutcome::Broken {
-                                key,
-                                iterations,
-                                conflicts,
-                            }
-                        } else {
-                            SatAttackOutcome::WrongKey { key, iterations }
-                        }
-                    }
-                    None => SatAttackOutcome::WrongKey {
-                        key: Vec::new(),
-                        iterations,
-                    },
+                // constraints is functionally correct [6]. Extraction
+                // reuses this solver with the difference clause gated OFF,
+                // under a re-armed budget copy so it behaves identically
+                // however the loop got here.
+                solver.set_budget(Some(options.budget.fresh()));
+                let extracted = solver.solve_with_assumptions(&[Lit::neg(act)]);
+                conflicts += solver.take_delta().conflicts;
+                let key = match extracted {
+                    SatResult::Sat => Some(
+                        miter
+                            .lhs
+                            .keys
+                            .iter()
+                            .map(|&k| solver.value(k).unwrap_or(false))
+                            .collect(),
+                    ),
+                    _ => None,
                 };
-                return AttackReport {
-                    outcome,
-                    dips_found: dips.len(),
-                    conflicts_spent: conflicts,
-                    stop: None,
+                return unsat_report(
+                    locked,
+                    oracle,
+                    options,
+                    key,
+                    iterations,
+                    conflicts,
+                    dips.len(),
                     resumed_from,
+                    per_dip,
                     checkpoint_written,
-                };
+                );
             }
             SatResult::Sat => {
-                conflicts += solver.stats().conflicts;
-                iterations += 1;
-                shell_trace::counter_add("attack.dips", 1);
-                let dip: Vec<bool> = copy_a
+                conflicts += delta.conflicts;
+                per_dip.push(DipCost {
+                    conflicts: delta.conflicts,
+                    decisions: delta.decisions,
+                    propagations: delta.propagations,
+                    nanos: t0.elapsed().as_nanos() as u64,
+                });
+                // Read the model *before* appending constraints: adding a
+                // clause backtracks to level 0 and discards it.
+                let dip: Vec<bool> = miter
+                    .lhs
                     .inputs
                     .iter()
                     .map(|&v| solver.value(v).unwrap_or(false))
                     .collect();
                 debug_assert_eq!(dip.len(), n_inputs);
-                let response = oracle.eval_comb(&dip);
+                iterations += 1;
+                shell_trace::counter_add("attack.dips", 1);
+                let replaying = iterations <= resumed_from;
+                let response = if replaying {
+                    let (recorded_dip, recorded_response) = &replay[iterations - 1];
+                    assert_eq!(
+                        &dip,
+                        recorded_dip,
+                        "resume replay diverged from the checkpoint at iteration {}: \
+                         the checkpoint does not match this design",
+                        iterations - 1
+                    );
+                    recorded_response.clone()
+                } else {
+                    oracle.eval_comb(&dip)
+                };
+                for keys in [&miter.lhs.keys, &miter.rhs.keys] {
+                    pin_dip_copy(&mut solver, locked, keys, &dip, &response);
+                }
+                solver.take_delta(); // pinning propagations are not solve cost
                 dips.push((dip, response));
-                if let Some(p) = write_checkpoint(iterations, conflicts, &dips) {
+                if replaying {
+                    if iterations == resumed_from {
+                        // Replay complete: the reconstructed trajectory must
+                        // account for exactly the checkpointed spend.
+                        let recorded = options
+                            .resume_from
+                            .as_ref()
+                            .map(|cp| cp.conflicts_spent)
+                            .unwrap_or(0);
+                        assert_eq!(
+                            conflicts, recorded,
+                            "replayed conflict total disagrees with the checkpoint"
+                        );
+                    }
+                } else if let Some(p) =
+                    write_checkpoint(locked, options, iterations, conflicts, &dips)
+                {
                     checkpoint_written = Some(p);
                 }
             }
@@ -530,16 +839,121 @@ pub fn sat_attack_report(
         conflicts_spent: conflicts,
         stop: stopped,
         resumed_from,
+        per_dip,
         checkpoint_written,
     }
 }
 
-/// Solves for one key consistent with the recorded DIP/response pairs —
-/// sound by the SAT attack's termination argument: once the miter is UNSAT,
-/// keys agreeing on all DIPs agree everywhere. Returns the key (if any)
-/// and the conflicts this solve spent. Runs under a *re-armed* copy of the
-/// attack budget so extraction behaves identically whether the DIP loop ran
-/// straight through or was resumed from a checkpoint.
+/// The rebuild-per-iteration DIP loop ([`DipMode::Scratch`]): every
+/// iteration encodes a fresh solver with the miter plus one IO-pinned copy
+/// pair per recorded DIP. Resume continues from the recorded prefix
+/// directly (nothing to replay — the next iteration rebuilds from the
+/// prefix anyway).
+fn scratch_attack(
+    locked: &Netlist,
+    oracle: &Netlist,
+    options: &SatAttackOptions,
+) -> AttackReport {
+    let (mut iterations, mut conflicts, mut dips, resumed_from) = match &options.resume_from {
+        Some(cp) => (cp.iterations, cp.conflicts_spent, cp.dips.clone(), cp.iterations),
+        None => (0, 0, Vec::new(), 0),
+    };
+
+    let n_inputs = locked.inputs().len();
+    let mut per_dip: Vec<DipCost> = Vec::new();
+    let mut checkpoint_written = None;
+
+    let stopped = loop {
+        if iterations >= options.max_iterations {
+            break None; // structural timeout, not a budget event
+        }
+        let _iter_span = shell_trace::span!("attack.sat.dip", iteration = iterations);
+        // Fresh solver: miter of two copies of the locked design (shared
+        // inputs, independent key candidates, some output pair forced to
+        // differ) plus one IO-pinned copy per key set per recorded DIP.
+        let mut solver = Solver::new();
+        solver.set_budget(Some(options.budget.clone()));
+        let miter = encode_miter(&mut solver, locked, locked);
+        let (copy_a, copy_b) = (miter.lhs, miter.rhs);
+        for (dip, response) in &dips {
+            for keys in [&copy_a.keys, &copy_b.keys] {
+                pin_dip_copy(&mut solver, locked, keys, dip, response);
+            }
+        }
+        solver.take_delta(); // encoding cost is not a DIP-solve cost
+        let t0 = Instant::now();
+        let result = solver.solve();
+        let delta = solver.take_delta();
+        match result {
+            SatResult::Unknown => {
+                // Excluded from the report, matching the checkpoint — see
+                // the incremental driver.
+                break Some(solver.stop_reason().unwrap_or(Exhausted::Quota));
+            }
+            SatResult::Unsat => {
+                conflicts += delta.conflicts;
+                let (key, extract_conflicts) = extract_key(locked, &dips, options);
+                conflicts += extract_conflicts;
+                return unsat_report(
+                    locked,
+                    oracle,
+                    options,
+                    key,
+                    iterations,
+                    conflicts,
+                    dips.len(),
+                    resumed_from,
+                    per_dip,
+                    checkpoint_written,
+                );
+            }
+            SatResult::Sat => {
+                conflicts += delta.conflicts;
+                per_dip.push(DipCost {
+                    conflicts: delta.conflicts,
+                    decisions: delta.decisions,
+                    propagations: delta.propagations,
+                    nanos: t0.elapsed().as_nanos() as u64,
+                });
+                iterations += 1;
+                shell_trace::counter_add("attack.dips", 1);
+                let dip: Vec<bool> = copy_a
+                    .inputs
+                    .iter()
+                    .map(|&v| solver.value(v).unwrap_or(false))
+                    .collect();
+                debug_assert_eq!(dip.len(), n_inputs);
+                let response = oracle.eval_comb(&dip);
+                dips.push((dip, response));
+                if let Some(p) = write_checkpoint(locked, options, iterations, conflicts, &dips) {
+                    checkpoint_written = Some(p);
+                }
+            }
+        }
+    };
+
+    AttackReport {
+        outcome: SatAttackOutcome::Resilient {
+            iterations,
+            conflicts,
+        },
+        dips_found: dips.len(),
+        conflicts_spent: conflicts,
+        stop: stopped,
+        resumed_from,
+        per_dip,
+        checkpoint_written,
+    }
+}
+
+/// Solves for one key consistent with the recorded DIP/response pairs in a
+/// fresh solver (the [`DipMode::Scratch`] extraction path; incremental mode
+/// extracts on its persistent solver instead). Sound by the SAT attack's
+/// termination argument: once the miter is UNSAT, keys agreeing on all DIPs
+/// agree everywhere. Returns the key (if any) and the conflicts this solve
+/// spent. Runs under a *re-armed* copy of the attack budget so extraction
+/// behaves identically whether the DIP loop ran straight through or was
+/// resumed from a checkpoint.
 fn extract_key(
     locked: &Netlist,
     dips: &[(Vec<bool>, Vec<bool>)],
@@ -549,13 +963,7 @@ fn extract_key(
     solver.set_budget(Some(options.budget.fresh()));
     let copy = encode_netlist(&mut solver, locked, None, None);
     for (dip, response) in dips {
-        let fresh = encode_netlist(&mut solver, locked, None, Some(&copy.keys));
-        for (i, &v) in fresh.inputs.iter().enumerate() {
-            solver.add_clause(&[Lit::new(v, dip[i])]);
-        }
-        for (o, &v) in fresh.outputs.iter().enumerate() {
-            solver.add_clause(&[Lit::new(v, response[o])]);
-        }
+        pin_dip_copy(&mut solver, locked, &copy.keys, dip, response);
     }
     let key = match solver.solve() {
         SatResult::Sat => Some(
@@ -566,7 +974,7 @@ fn extract_key(
         ),
         _ => None,
     };
-    (key, solver.stats().conflicts)
+    (key, solver.take_delta().conflicts)
 }
 
 /// Checks the candidate key against the oracle (exhaustive up to 12 inputs,
@@ -664,6 +1072,27 @@ mod tests {
     }
 
     #[test]
+    fn both_modes_break_xor_locking_with_same_key() {
+        // Output-XOR locking has a unique correct key, so any sound attack
+        // must recover exactly it — the strongest cross-mode agreement
+        // check available without pinning search internals.
+        let oracle = small_oracle();
+        let (locked, true_key) = xor_lock_outputs(&oracle, 5);
+        for mode in [DipMode::Incremental, DipMode::Scratch] {
+            let opts = SatAttackOptions {
+                mode,
+                ..Default::default()
+            };
+            match sat_attack(&locked, &oracle, &opts) {
+                SatAttackOutcome::Broken { key, .. } => {
+                    assert_eq!(key, true_key, "{} mode", mode.label());
+                }
+                other => panic!("{} mode: expected break, got {other:?}", mode.label()),
+            }
+        }
+    }
+
+    #[test]
     fn key_verification_detects_wrong_function() {
         // A "locked" design that is NOT the oracle under any key: the
         // attack must not claim Broken.
@@ -740,6 +1169,7 @@ mod tests {
     fn checkpoint_json_round_trips() {
         let cp = AttackCheckpoint {
             design: "adder".to_string(),
+            mode: DipMode::Incremental,
             iterations: 2,
             conflicts_spent: 17,
             dips: vec![
@@ -751,6 +1181,25 @@ mod tests {
         assert_eq!(parsed, cp);
         // Corrupt JSON is a typed error, not a panic.
         assert!(AttackCheckpoint::from_json(&Json::obj([("design", Json::Null)])).is_err());
+    }
+
+    #[test]
+    fn checkpoint_without_mode_reads_as_scratch() {
+        // Pre-incremental checkpoints carry no mode field; they were
+        // recorded by the scratch driver and must keep resuming as such.
+        let mut json = AttackCheckpoint {
+            design: "adder".to_string(),
+            mode: DipMode::Incremental,
+            iterations: 0,
+            conflicts_spent: 0,
+            dips: Vec::new(),
+        }
+        .to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.retain(|(k, _)| k != "mode");
+        }
+        let parsed = AttackCheckpoint::from_json(&json).unwrap();
+        assert_eq!(parsed.mode, DipMode::Scratch);
     }
 
     #[test]
@@ -786,7 +1235,12 @@ mod tests {
                 && partial.dips_found >= 1
             {
                 assert_eq!(partial.stop, Some(Exhausted::Quota));
-                break AttackCheckpoint::load(&cp_path).expect("checkpoint readable");
+                let cp = AttackCheckpoint::load(&cp_path).expect("checkpoint readable");
+                // The interrupted report and its checkpoint agree on spend:
+                // partial work of the broken-off iteration is in neither.
+                assert_eq!(partial.conflicts_spent, cp.conflicts_spent);
+                assert_eq!(partial.dips_found, cp.iterations);
+                break cp;
             }
             if partial.outcome.is_broken() {
                 // Quota grew past the whole attack before yielding a
@@ -799,6 +1253,7 @@ mod tests {
         };
         assert!(checkpoint.iterations >= 1);
         assert!(checkpoint.iterations < full_iters);
+        assert_eq!(checkpoint.mode, DipMode::Incremental);
 
         // Resume and compare: same key, same totals, byte-identical JSON.
         let resumed = sat_attack_report(
@@ -816,6 +1271,26 @@ mod tests {
             "resumed report must be byte-identical to the uninterrupted one"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded by a scratch run")]
+    fn resume_refuses_mode_mismatch() {
+        let oracle = small_oracle();
+        let (locked, _) = xor_lock(&oracle, 2);
+        let cp = AttackCheckpoint {
+            design: locked.name().to_string(),
+            mode: DipMode::Scratch,
+            iterations: 0,
+            conflicts_spent: 0,
+            dips: Vec::new(),
+        };
+        let opts = SatAttackOptions {
+            mode: DipMode::Incremental,
+            resume_from: Some(cp),
+            ..Default::default()
+        };
+        sat_attack_report(&locked, &oracle, &opts);
     }
 
     #[test]
@@ -879,6 +1354,53 @@ mod tests {
         let frame = scan_frame(&oracle);
         assert_eq!(frame.inputs().len(), oracle.inputs().len());
         assert_eq!(frame.outputs().len(), oracle.outputs().len());
+    }
+
+    #[test]
+    fn unrealized_data_pin_is_a_typed_error() {
+        // A DFF whose data pin reads a net that nothing drives: the frame
+        // cannot realize the scan output. This used to panic with
+        // `expect("data pin realized")`.
+        let mut n = Netlist::new("dangling");
+        let d = n.add_input("d");
+        let floating = n.add_net("floating");
+        let q = n.add_cell("ff_bad", CellKind::Dff, vec![floating]);
+        let q2 = n.add_cell("ff_ok", CellKind::Dff, vec![d]);
+        let f = n.add_cell("f", CellKind::Xor, vec![q, q2]);
+        n.add_output("f", f);
+        match try_scan_frame(&n) {
+            Err(ScanError::UnrealizedDataPin { cell }) => assert_eq!(cell, "ff_bad"),
+            other => panic!("expected UnrealizedDataPin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_frame_panics_with_scan_error_message() {
+        let mut n = Netlist::new("dangling");
+        let floating = n.add_net("floating");
+        let q = n.add_cell("ff_bad", CellKind::Dff, vec![floating]);
+        n.add_output("q", q);
+        let err = std::panic::catch_unwind(|| scan_frame(&n)).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string panic payload");
+        assert!(msg.contains("ff_bad"), "panic names the cell: {msg}");
+    }
+
+    #[test]
+    fn xor_lock_outputs_plants_a_unique_key() {
+        let oracle = small_oracle();
+        let (locked, key) = xor_lock_outputs(&oracle, 3);
+        assert_eq!(key, vec![false, true, false]);
+        use shell_netlist::equiv::equiv_exhaustive;
+        assert!(equiv_exhaustive(&oracle, &locked, &[], &key).is_equivalent());
+        // Any single-bit flip breaks it — that is what "unique" means here.
+        for i in 0..key.len() {
+            let mut wrong = key.clone();
+            wrong[i] = !wrong[i];
+            assert!(
+                !equiv_exhaustive(&oracle, &locked, &[], &wrong).is_equivalent(),
+                "flipping key bit {i} must break equivalence"
+            );
+        }
     }
 
     #[test]

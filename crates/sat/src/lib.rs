@@ -39,6 +39,6 @@ pub mod solver;
 pub mod tseitin;
 
 pub use cnf::{Cnf, Lit, Var};
-pub use miter::{constrain_some_output_differs, encode_miter, Miter};
+pub use miter::{constrain_some_output_differs, encode_miter, encode_miter_gated, Miter};
 pub use solver::{SatResult, Solver, SolverStats};
 pub use tseitin::{encode_netlist, CircuitCnf};

@@ -32,6 +32,13 @@ pub struct Miter {
     pub rhs: CircuitCnf,
     /// `diffs[o] = lhs.outputs[o] XOR rhs.outputs[o]`.
     pub diffs: Vec<Var>,
+    /// Activation variable of a *gated* miter ([`encode_miter_gated`]): the
+    /// "some output differs" clause is `¬activation ∨ d₀ ∨ d₁ ∨ …`, so the
+    /// difference constraint only binds while `activation` is assumed true.
+    /// Assuming it false turns the same formula into a plain consistency
+    /// check — the incremental SAT attack extracts its key that way without
+    /// building a second solver. `None` for the hard [`encode_miter`] form.
+    pub activation: Option<Var>,
 }
 
 /// Encodes `lhs` and `rhs` into `solver` on shared primary-input variables
@@ -51,6 +58,25 @@ pub struct Miter {
 /// sequential (scan-frame or unroll first), or on the conditions of
 /// [`encode_netlist`] (latches, combinational cycles).
 pub fn encode_miter(solver: &mut Solver, lhs: &Netlist, rhs: &Netlist) -> Miter {
+    encode_miter_impl(solver, lhs, rhs, false)
+}
+
+/// [`encode_miter`] with the difference clause *gated* behind a fresh
+/// activation variable (see [`Miter::activation`]).
+///
+/// Solving under the assumption `+activation` behaves exactly like the hard
+/// miter; under `¬activation` the difference constraint is disabled and the
+/// formula merely asserts both copies compute their circuits — satisfiable
+/// by construction (modulo other constraints the caller pinned), which is
+/// what makes one persistent solver serve both DIP mining and key
+/// extraction. With zero output pairs the gated clause degenerates to the
+/// unit `¬activation`: UNSAT under `+activation`, still usable otherwise —
+/// the gated analogue of [`encode_miter`]'s empty clause.
+pub fn encode_miter_gated(solver: &mut Solver, lhs: &Netlist, rhs: &Netlist) -> Miter {
+    encode_miter_impl(solver, lhs, rhs, true)
+}
+
+fn encode_miter_impl(solver: &mut Solver, lhs: &Netlist, rhs: &Netlist, gated: bool) -> Miter {
     assert!(lhs.is_combinational(), "miter lhs must be combinational");
     assert!(rhs.is_combinational(), "miter rhs must be combinational");
     assert_eq!(
@@ -65,8 +91,14 @@ pub fn encode_miter(solver: &mut Solver, lhs: &Netlist, rhs: &Netlist) -> Miter 
     );
     let a = encode_netlist(solver, lhs, None, None);
     let b = encode_netlist(solver, rhs, Some(&a.inputs), None);
-    let diffs = constrain_some_output_differs(solver, &a.outputs, &b.outputs);
-    Miter { lhs: a, rhs: b, diffs }
+    let activation = gated.then(|| solver.new_var());
+    let diffs = constrain_differs(solver, &a.outputs, &b.outputs, activation);
+    Miter {
+        lhs: a,
+        rhs: b,
+        diffs,
+        activation,
+    }
 }
 
 /// Adds `d[o] = a[o] XOR b[o]` difference variables plus the clause
@@ -78,9 +110,21 @@ pub fn constrain_some_output_differs(
     lhs_outputs: &[Var],
     rhs_outputs: &[Var],
 ) -> Vec<Var> {
+    constrain_differs(solver, lhs_outputs, rhs_outputs, None)
+}
+
+fn constrain_differs(
+    solver: &mut Solver,
+    lhs_outputs: &[Var],
+    rhs_outputs: &[Var],
+    gate: Option<Var>,
+) -> Vec<Var> {
     assert_eq!(lhs_outputs.len(), rhs_outputs.len(), "output width mismatch");
     let mut diffs = Vec::with_capacity(lhs_outputs.len());
-    let mut any: Vec<Lit> = Vec::with_capacity(lhs_outputs.len());
+    let mut any: Vec<Lit> = Vec::with_capacity(lhs_outputs.len() + 1);
+    if let Some(g) = gate {
+        any.push(Lit::neg(g));
+    }
     for (&a, &b) in lhs_outputs.iter().zip(rhs_outputs) {
         let d = solver.new_var();
         encode_xor2(solver, a, b, d);
@@ -171,6 +215,45 @@ mod tests {
             Lit::neg(m.rhs.keys[0]),
         ];
         assert_eq!(s.solve_with_assumptions(&same_keys), SatResult::Unsat);
+    }
+
+    #[test]
+    fn gated_miter_switches_between_dip_and_extraction_mode() {
+        // f = a XOR k. Under +act the gated miter behaves like the hard
+        // miter (SAT: the two key copies can disagree); pinning an IO pair
+        // and flipping to ¬act turns the same solver into key extraction.
+        let mut n = Netlist::new("lk");
+        let a = n.add_input("a");
+        let k = n.add_key_input("k");
+        let f = n.add_cell("f", CellKind::Xor, vec![a, k]);
+        n.add_output("f", f);
+
+        let mut s = Solver::new();
+        let m = encode_miter_gated(&mut s, &n, &n);
+        let act = m.activation.expect("gated");
+        assert_eq!(s.solve_with_assumptions(&[Lit::pos(act)]), SatResult::Sat);
+        assert_ne!(s.value(m.lhs.keys[0]), s.value(m.rhs.keys[0]));
+
+        // Oracle says f(a=0) = 0 (true key k=0): pin that IO pattern on
+        // both copies, after which no distinguishing pattern remains...
+        s.add_clause(&[Lit::neg(m.lhs.inputs[0])]);
+        s.add_clause(&[Lit::neg(m.lhs.outputs[0])]);
+        s.add_clause(&[Lit::neg(m.rhs.outputs[0])]);
+        assert_eq!(s.solve_with_assumptions(&[Lit::pos(act)]), SatResult::Unsat);
+        // ...and the SAME solver, gate off, yields the consistent key.
+        assert_eq!(s.solve_with_assumptions(&[Lit::neg(act)]), SatResult::Sat);
+        assert_eq!(s.value(m.lhs.keys[0]), Some(false));
+    }
+
+    #[test]
+    fn outputless_gated_miter_stays_usable() {
+        let mut a = Netlist::new("empty_a");
+        a.add_input("x");
+        let mut s = Solver::new();
+        let m = encode_miter_gated(&mut s, &a, &a);
+        let act = m.activation.expect("gated");
+        assert_eq!(s.solve_with_assumptions(&[Lit::pos(act)]), SatResult::Unsat);
+        assert_eq!(s.solve_with_assumptions(&[Lit::neg(act)]), SatResult::Sat);
     }
 
     #[test]

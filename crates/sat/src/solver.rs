@@ -7,7 +7,19 @@
 //! be added between [`Solver::solve`] calls and solving under
 //! [`Solver::solve_with_assumptions`] is supported — both are required by the
 //! oracle-guided SAT attack, which grows the formula by two circuit copies
-//! per distinguishing input pattern.
+//! per distinguishing input pattern. Learned clauses, VSIDS activity and
+//! saved phases all survive across solve calls, so a long-lived solver keeps
+//! getting cheaper as the formula grows.
+//!
+//! Clause storage is a **flat literal arena**: all clauses live contiguously
+//! in one `Vec<Lit>` with small `{start, len}` headers, so unit propagation
+//! walks cache-linear memory and conflict analysis reads clauses in place
+//! without per-conflict allocation. [`Solver::reduce_learnts`] compacts the
+//! learnt portion of the database between solves.
+//!
+//! Long-lived solvers report per-solve costs through the delta API
+//! ([`Solver::take_delta`] / [`SolverStats::since`]); summing raw
+//! [`Solver::stats`] snapshots across calls double-counts.
 //!
 //! A **conflict budget** ([`Solver::set_conflict_budget`]) reproduces the
 //! paper's 48-hour attack timeout at laptop scale: when the budget is
@@ -43,15 +55,42 @@ pub struct SolverStats {
     pub propagations: u64,
     /// Restarts performed.
     pub restarts: u64,
-    /// Learnt clauses currently in the database.
+    /// Learnt clauses currently in the database. Unlike the other fields
+    /// this is a *level*, not a counter: [`SolverStats::since`] carries the
+    /// current value through instead of subtracting.
     pub learnt_clauses: usize,
+}
+
+impl SolverStats {
+    /// Counter deltas accumulated since the `earlier` snapshot (saturating,
+    /// so a snapshot from a different solver degrades to zeros rather than
+    /// wrapping). `learnt_clauses` is a level and is carried through as-is.
+    pub fn since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts.saturating_sub(earlier.conflicts),
+            decisions: self.decisions.saturating_sub(earlier.decisions),
+            propagations: self.propagations.saturating_sub(earlier.propagations),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            learnt_clauses: self.learnt_clauses,
+        }
+    }
 }
 
 const UNDEF_CLAUSE: u32 = u32::MAX;
 
-#[derive(Debug, Clone)]
-struct Clause {
-    lits: Vec<Lit>,
+/// The learnt database is reduced when it exceeds this many clauses plus
+/// half the input-clause count (checked at each solve-call entry, so a
+/// reduction never lands mid-search).
+const REDUCE_LEARNTS_BASE: usize = 2000;
+
+/// Header of one clause in the literal arena. Positions `start` and
+/// `start + 1` are always the two watched literals — [`Solver::propagate`]
+/// maintains that invariant by swapping literals in place.
+#[derive(Debug, Clone, Copy)]
+struct ClauseHeader {
+    start: u32,
+    len: u32,
+    learnt: bool,
 }
 
 /// Indexed max-heap over variable activities (the VSIDS order).
@@ -153,7 +192,12 @@ impl VarHeap {
 /// The CDCL solver. See the [module docs](self) for the feature set.
 #[derive(Debug, Clone)]
 pub struct Solver {
-    clauses: Vec<Clause>,
+    /// Flat literal storage; clause `i` occupies
+    /// `arena[clauses[i].start .. clauses[i].start + clauses[i].len]`.
+    arena: Vec<Lit>,
+    clauses: Vec<ClauseHeader>,
+    /// Learnt clauses currently in the database.
+    num_learnt: usize,
     /// `watches[lit.code()]`: clauses in which `lit` is one of the two
     /// watched literals.
     watches: Vec<Vec<u32>>,
@@ -179,6 +223,8 @@ pub struct Solver {
     stop_reason: Option<Exhausted>,
     /// Scratch for conflict analysis.
     seen: Vec<bool>,
+    /// Stats snapshot at the last [`Solver::take_delta`] call.
+    taken: SolverStats,
 }
 
 impl Default for Solver {
@@ -191,7 +237,9 @@ impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {
         Self {
+            arena: Vec::new(),
             clauses: Vec::new(),
+            num_learnt: 0,
             watches: Vec::new(),
             assigns: Vec::new(),
             level: Vec::new(),
@@ -209,6 +257,7 @@ impl Solver {
             guard: None,
             stop_reason: None,
             seen: Vec::new(),
+            taken: SolverStats::default(),
         }
     }
 
@@ -254,11 +303,24 @@ impl Solver {
         self.stop_reason
     }
 
-    /// Solver statistics so far.
+    /// Cumulative solver statistics since construction. For a long-lived
+    /// solver, per-solve costs come from [`Solver::take_delta`] — summing
+    /// these snapshots across calls double-counts.
     pub fn stats(&self) -> SolverStats {
         let mut s = self.stats;
-        s.learnt_clauses = self.clauses.len();
+        s.learnt_clauses = self.num_learnt;
         s
+    }
+
+    /// Statistics accumulated since the previous `take_delta` call (or since
+    /// construction), and resets the baseline. This is the API attack
+    /// drivers use: `conflicts += solver.take_delta().conflicts` stays
+    /// correct whether the solver is fresh per call or persists across many.
+    pub fn take_delta(&mut self) -> SolverStats {
+        let now = self.stats();
+        let delta = now.since(&self.taken);
+        self.taken = now;
+        delta
     }
 
     /// Adds a clause. Returns `false` when the clause makes the formula
@@ -305,7 +367,7 @@ impl Solver {
                 }
             }
             _ => {
-                self.attach_clause(filtered);
+                self.attach_clause(&filtered, false);
                 true
             }
         }
@@ -325,12 +387,21 @@ impl Solver {
         true
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>) -> u32 {
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool) -> u32 {
         debug_assert!(lits.len() >= 2);
         let idx = self.clauses.len() as u32;
+        let start = self.arena.len() as u32;
+        self.arena.extend_from_slice(lits);
         self.watches[lits[0].code()].push(idx);
         self.watches[lits[1].code()].push(idx);
-        self.clauses.push(Clause { lits });
+        self.clauses.push(ClauseHeader {
+            start,
+            len: lits.len() as u32,
+            learnt,
+        });
+        if learnt {
+            self.num_learnt += 1;
+        }
         idx
     }
 
@@ -360,6 +431,7 @@ impl Solver {
         // inner loop itself stays untouched.
         let _span = shell_trace::span!("sat.solve");
         let before = self.stats;
+        let carried = self.num_learnt as u64;
         let result = self.solve_inner(assumptions);
         shell_trace::counter_add("sat.conflicts", self.stats.conflicts - before.conflicts);
         shell_trace::counter_add("sat.decisions", self.stats.decisions - before.decisions);
@@ -367,6 +439,8 @@ impl Solver {
             "sat.propagations",
             self.stats.propagations - before.propagations,
         );
+        shell_trace::counter_add("sat.learned_kept", carried);
+        shell_trace::gauge("sat.clauses_db", self.clauses.len() as f64);
         result
     }
 
@@ -376,6 +450,9 @@ impl Solver {
         }
         self.cancel_until(0);
         self.stop_reason = None;
+        if self.num_learnt > REDUCE_LEARNTS_BASE + (self.clauses.len() - self.num_learnt) / 2 {
+            self.reduce_learnts();
+        }
         let mut conflicts_until_restart = 100u64;
         let mut conflicts_this_epoch = 0u64;
         loop {
@@ -398,7 +475,7 @@ impl Solver {
                     self.unchecked_enqueue(learnt[0], UNDEF_CLAUSE);
                 } else {
                     let asserting = learnt[0];
-                    let idx = self.attach_clause(learnt);
+                    let idx = self.attach_clause(&learnt, true);
                     self.unchecked_enqueue(asserting, idx);
                 }
                 self.decay_activity();
@@ -494,13 +571,15 @@ impl Solver {
             let mut i = 0;
             while i < watch_list.len() {
                 let cref = watch_list[i];
-                let clause = &mut self.clauses[cref as usize];
+                let h = self.clauses[cref as usize];
+                let s = h.start as usize;
+                let e = s + h.len as usize;
                 // Ensure the false literal is at position 1.
-                if clause.lits[0] == false_lit {
-                    clause.lits.swap(0, 1);
+                if self.arena[s] == false_lit {
+                    self.arena.swap(s, s + 1);
                 }
-                debug_assert_eq!(clause.lits[1], false_lit);
-                let first = clause.lits[0];
+                debug_assert_eq!(self.arena[s + 1], false_lit);
+                let first = self.arena[s];
                 // If the other watch is true, clause is satisfied.
                 if self.assigns[first.var().index()]
                     .map(|b| b == first.is_positive())
@@ -511,11 +590,11 @@ impl Solver {
                 }
                 // Look for a new literal to watch.
                 let mut found = false;
-                for k in 2..clause.lits.len() {
-                    let l = clause.lits[k];
+                for k in (s + 2)..e {
+                    let l = self.arena[k];
                     let val = self.assigns[l.var().index()].map(|b| b == l.is_positive());
                     if val != Some(false) {
-                        clause.lits.swap(1, k);
+                        self.arena.swap(s + 1, k);
                         self.watches[l.code()].push(cref);
                         watch_list.swap_remove(i);
                         found = true;
@@ -552,10 +631,13 @@ impl Solver {
         let mut confl = confl;
         let current_level = self.decision_level();
         loop {
-            let clause = &self.clauses[confl as usize];
-            let start = if p.is_some() { 1 } else { 0 };
-            let lits: Vec<Lit> = clause.lits[start..].to_vec();
-            for q in lits {
+            let h = self.clauses[confl as usize];
+            let s = h.start as usize;
+            let skip = if p.is_some() { 1 } else { 0 };
+            // Read the clause in place from the arena — no allocation on
+            // this per-conflict path.
+            for j in (s + skip)..(s + h.len as usize) {
+                let q = self.arena[j];
                 let v = q.var();
                 if !self.seen[v.index()] && self.level[v.index()] > 0 {
                     self.seen[v.index()] = true;
@@ -652,6 +734,66 @@ impl Solver {
 
     fn decay_activity(&mut self) {
         self.var_inc /= 0.95;
+    }
+
+    /// Shrinks the learnt-clause database: binary learnt clauses are always
+    /// kept, and of the longer ones the oldest half is dropped. The solver
+    /// backtracks to level 0 first, so this is safe between solves (learnt
+    /// clauses are implied by the input formula — deleting them can never
+    /// change an answer, only the search path). Called automatically when
+    /// the learnt database outgrows the input formula; public so callers
+    /// with their own memory pressure signal can compact eagerly.
+    pub fn reduce_learnts(&mut self) {
+        self.cancel_until(0);
+        let long: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&i| {
+                let h = self.clauses[i as usize];
+                h.learnt && h.len > 2
+            })
+            .collect();
+        let drop_n = long.len() / 2;
+        if drop_n == 0 {
+            return;
+        }
+        let mut drop = vec![false; self.clauses.len()];
+        // Clause indices grow over time, so the front of `long` is oldest.
+        for &c in &long[..drop_n] {
+            drop[c as usize] = true;
+        }
+        let mut arena = Vec::with_capacity(self.arena.len());
+        let mut clauses = Vec::with_capacity(self.clauses.len() - drop_n);
+        for i in 0..self.clauses.len() {
+            if drop[i] {
+                continue;
+            }
+            let h = self.clauses[i];
+            let s = h.start as usize;
+            let start = arena.len() as u32;
+            arena.extend_from_slice(&self.arena[s..s + h.len as usize]);
+            clauses.push(ClauseHeader { start, len: h.len, learnt: h.learnt });
+        }
+        self.arena = arena;
+        self.clauses = clauses;
+        self.num_learnt -= drop_n;
+        // Rebuild the watch lists. Positions 0 and 1 are the watched
+        // literals by invariant, and level-0 propagation already ran to
+        // fixpoint, so re-watching the same positions reproduces a valid
+        // watch state.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for i in 0..self.clauses.len() {
+            let s = self.clauses[i].start as usize;
+            let (w0, w1) = (self.arena[s].code(), self.arena[s + 1].code());
+            self.watches[w0].push(i as u32);
+            self.watches[w1].push(i as u32);
+        }
+        // Compaction renumbers clauses; stale antecedent indices must not
+        // survive. Only level-0 assignments remain and conflict analysis
+        // never expands those, so clearing every reason is sound.
+        for r in &mut self.reason {
+            *r = UNDEF_CLAUSE;
+        }
     }
 }
 
@@ -929,6 +1071,74 @@ mod tests {
             (r, s.stats().conflicts)
         };
         assert_eq!(run(17), run(17));
+    }
+
+    #[test]
+    fn take_delta_partitions_cumulative_stats() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 6, 5);
+        s.solve();
+        let first = s.take_delta();
+        assert!(first.conflicts > 0, "hard instance must conflict");
+        // An immediately repeated take is empty.
+        assert_eq!(s.take_delta().conflicts, 0);
+        s.solve();
+        let second = s.take_delta();
+        // Deltas partition the cumulative totals exactly.
+        assert_eq!(first.conflicts + second.conflicts, s.stats().conflicts);
+        assert_eq!(first.decisions + second.decisions, s.stats().decisions);
+        assert_eq!(
+            first.propagations + second.propagations,
+            s.stats().propagations
+        );
+    }
+
+    #[test]
+    fn since_is_saturating_and_carries_learnt_level() {
+        let a = SolverStats {
+            conflicts: 3,
+            decisions: 10,
+            propagations: 100,
+            restarts: 1,
+            learnt_clauses: 7,
+        };
+        let b = SolverStats {
+            conflicts: 5,
+            decisions: 4, // "earlier" ahead: foreign snapshot degrades to 0
+            propagations: 150,
+            restarts: 1,
+            learnt_clauses: 2,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.conflicts, 2);
+        assert_eq!(d.decisions, 0);
+        assert_eq!(d.propagations, 50);
+        assert_eq!(d.restarts, 0);
+        assert_eq!(d.learnt_clauses, 2);
+    }
+
+    #[test]
+    fn learnt_clauses_counts_only_learnt() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 6, 5);
+        assert_eq!(s.stats().learnt_clauses, 0, "input clauses are not learnt");
+        s.solve();
+        assert!(s.stats().learnt_clauses > 0);
+    }
+
+    #[test]
+    fn reduce_learnts_preserves_answers() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 6, 5);
+        assert_eq!(s.solve(), SatResult::Unsat);
+
+        let mut sat = Solver::new();
+        pigeonhole(&mut sat, 6, 6); // 6 holes: satisfiable but conflict-heavy
+        assert_eq!(sat.solve(), SatResult::Sat);
+        let before = sat.stats().learnt_clauses;
+        sat.reduce_learnts();
+        assert!(sat.stats().learnt_clauses <= before);
+        assert_eq!(sat.solve(), SatResult::Sat, "reduction keeps satisfiability");
     }
 
     #[test]

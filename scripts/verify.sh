@@ -142,4 +142,24 @@ cmp results/FAULT_smoke_j1.json results/FAULT_smoke_j4.json || {
 rm -f results/FAULT_smoke_j1.json results/FAULT_smoke_j4.json
 echo "ok"
 
+# Incremental-SAT smoke: the attack bench runs both DIP-loop modes on a
+# table-1-style circuit and self-checks two invariants — the persistent
+# solver recovers the same (unique) key as the from-scratch baseline, and
+# its summed per-DIP conflicts are no worse. Both job counts, since the
+# attack must be scheduling-independent. (The artifact carries wall times,
+# so whole-file cmp would be flaky; the verdict booleans are the contract.)
+echo "== bench_sat smoke: incremental vs scratch, SHELL_JOBS=1 and 4 =="
+for jobs in 1 4; do
+    SHELL_JOBS=$jobs cargo run -q --release --offline --bin bench_sat >/dev/null
+    grep -q '"same_key": true' results/BENCH_sat.json || {
+        echo "bench_sat (SHELL_JOBS=$jobs): modes disagree on the key" >&2
+        exit 1
+    }
+    grep -q '"no_worse": true' results/BENCH_sat.json || {
+        echo "bench_sat (SHELL_JOBS=$jobs): incremental spent more DIP conflicts" >&2
+        exit 1
+    }
+done
+echo "ok"
+
 echo "verify: all green (hermetic)"
