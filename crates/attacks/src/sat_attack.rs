@@ -535,6 +535,43 @@ pub fn xor_lock_outputs(oracle: &Netlist, bits: usize) -> (Netlist, Vec<bool>) {
     (locked, key)
 }
 
+/// XOR-locks `oracle` by inserting one key XOR on the output of each of the
+/// first `min(bits, cells)` internal cells (odd key bits planted inverted).
+/// Unlike [`xor_lock_outputs`], the keyed nodes sit *inside* the cone, so
+/// the SAT attack needs a genuine multi-DIP search to break the lock — this
+/// is the standard "long-running attack" workload for benches, the service
+/// resume tests, and anything else that must interrupt an attack
+/// mid-flight. Chained inversions can cancel, so more than one key may be
+/// functionally correct; compare recovered keys by function, not by bits.
+///
+/// Returns the locked netlist and the planted (correct) key.
+pub fn xor_lock_cells(oracle: &Netlist, bits: usize) -> (Netlist, Vec<bool>) {
+    let mut locked = oracle.clone();
+    locked.set_name(format!("{}_xc", oracle.name()));
+    let fanout = locked.fanout_table();
+    let mut key = Vec::new();
+    let targets: Vec<_> = locked.cells().map(|(id, _)| id).take(bits).collect();
+    for (i, cid) in targets.into_iter().enumerate() {
+        let out_net = locked.cell(cid).output;
+        let k = locked.add_key_input(format!("k{i}"));
+        // Correct key bit: 0 (XOR transparent) or 1 with an extra NOT.
+        let invert = i % 2 == 1;
+        let gate_in = if invert {
+            let inv = locked.add_cell(format!("pre_inv{i}"), CellKind::Not, vec![out_net]);
+            key.push(true);
+            inv
+        } else {
+            key.push(false);
+            out_net
+        };
+        let xored = locked.add_cell(format!("kx{i}"), CellKind::Xor, vec![gate_in, k]);
+        for &(reader, pin) in &fanout[out_net.index()] {
+            locked.rewire_input(reader, pin, xored);
+        }
+    }
+    (locked, key)
+}
+
 /// Runs the oracle-guided SAT attack on `locked` against `oracle`.
 ///
 /// Both netlists must be combinational (run [`scan_frame`] first) with the
@@ -993,37 +1030,10 @@ mod tests {
     use super::*;
     use shell_netlist::LutMask;
 
-    /// XOR-locks `oracle` by inserting key XORs on `bits` internal cells'
-    /// outputs — breakable by the SAT attack quickly.
+    /// The multi-DIP internal-node XOR lock, now public as
+    /// [`xor_lock_cells`]; the tests keep their historical name.
     fn xor_lock(oracle: &Netlist, bits: usize) -> (Netlist, Vec<bool>) {
-        let mut locked = oracle.clone();
-        let fanout = locked.fanout_table();
-        let mut key = Vec::new();
-        let targets: Vec<_> = locked
-            .cells()
-            .map(|(id, _)| id)
-            .take(bits)
-            .collect();
-        for (i, cid) in targets.into_iter().enumerate() {
-            // Insert XOR between cell output and its readers.
-            let out_net = locked.cell(cid).output;
-            let k = locked.add_key_input(format!("k{i}"));
-            // Correct key bit: 0 (XOR transparent) or 1 with an extra NOT.
-            let invert = i % 2 == 1;
-            let gate_in = if invert {
-                let inv = locked.add_cell(format!("pre_inv{i}"), CellKind::Not, vec![out_net]);
-                key.push(true);
-                inv
-            } else {
-                key.push(false);
-                out_net
-            };
-            let xored = locked.add_cell(format!("kx{i}"), CellKind::Xor, vec![gate_in, k]);
-            for &(reader, pin) in &fanout[out_net.index()] {
-                locked.rewire_input(reader, pin, xored);
-            }
-        }
-        (locked, key)
+        xor_lock_cells(oracle, bits)
     }
 
     fn small_oracle() -> Netlist {

@@ -158,6 +158,59 @@ impl Budget {
         }
     }
 
+    /// Builds the budget for one service request: the client may ask for a
+    /// wall-clock deadline and/or a step (conflict) quota, and the server
+    /// clamps both against its configured maxima so no single request can
+    /// monopolize the worker pool.
+    ///
+    /// Clamping rules, per axis (deadline and quota independently):
+    /// * request and maximum set → `min(request, maximum)`;
+    /// * only the request set → the request;
+    /// * only the maximum set → the maximum (a configured cap is a default,
+    ///   not merely a ceiling — an unbounded request must not dodge it);
+    /// * neither → unlimited on that axis.
+    ///
+    /// ```
+    /// use shell_guard::Budget;
+    /// let b = Budget::for_request(Some(10_000), Some(500), Some(2_000), None);
+    /// assert_eq!(b.remaining_quota(), Some(500)); // quota uncapped
+    /// // deadline was clamped from 10s to the 2s server maximum
+    /// ```
+    pub fn for_request(
+        deadline_ms: Option<u64>,
+        quota: Option<u64>,
+        max_deadline_ms: Option<u64>,
+        max_quota: Option<u64>,
+    ) -> Self {
+        let clamp = |req: Option<u64>, max: Option<u64>| match (req, max) {
+            (Some(r), Some(m)) => Some(r.min(m)),
+            (Some(r), None) => Some(r),
+            (None, Some(m)) => Some(m),
+            (None, None) => None,
+        };
+        let quota = clamp(quota, max_quota).unwrap_or(UNLIMITED);
+        let deadline = clamp(deadline_ms, max_deadline_ms).map(Duration::from_millis);
+        Budget::build(quota, deadline)
+    }
+
+    /// [`Budget::for_request`] with the maxima taken from the environment:
+    /// `SHELL_SERVE_MAX_DEADLINE_MS` and `SHELL_SERVE_MAX_CONFLICTS`
+    /// (unparsable values read as unset). This is the shell-serve per-job
+    /// entry point, the service-side sibling of [`Budget::from_env`].
+    pub fn from_request_env(deadline_ms: Option<u64>, quota: Option<u64>) -> Self {
+        let env_u64 = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+        };
+        Budget::for_request(
+            deadline_ms,
+            quota,
+            env_u64("SHELL_SERVE_MAX_DEADLINE_MS"),
+            env_u64("SHELL_SERVE_MAX_CONFLICTS"),
+        )
+    }
+
     /// A new budget armed like this one was at construction: full quota,
     /// deadline re-armed from now, not cancelled. Used where an inner stage
     /// (e.g. key extraction after a resumed attack) must behave identically
@@ -389,6 +442,39 @@ mod tests {
         b.spend(3).unwrap();
         assert_eq!(c.remaining_quota(), Some(1));
         assert_eq!(c.spend(2), Err(Exhausted::Quota));
+    }
+
+    #[test]
+    fn for_request_clamps_each_axis_independently() {
+        // request > max: clamped.
+        let b = Budget::for_request(None, Some(1_000), None, Some(100));
+        assert_eq!(b.remaining_quota(), Some(100));
+        // request < max: the request wins.
+        let b = Budget::for_request(None, Some(50), None, Some(100));
+        assert_eq!(b.remaining_quota(), Some(50));
+        // no request but a configured max: the max is the default cap.
+        let b = Budget::for_request(None, None, None, Some(77));
+        assert_eq!(b.remaining_quota(), Some(77));
+        // nothing anywhere: unlimited.
+        let b = Budget::for_request(None, None, None, None);
+        assert_eq!(b.remaining_quota(), None);
+        assert!(b.inner.deadline.is_none());
+        // deadline axis clamps without touching the quota axis.
+        let b = Budget::for_request(Some(60_000), Some(5), Some(1), None);
+        assert_eq!(b.remaining_quota(), Some(5));
+        assert_eq!(
+            b.inner.deadline_duration,
+            Some(Duration::from_millis(1)),
+            "deadline clamped to the 1ms maximum"
+        );
+    }
+
+    #[test]
+    fn for_request_zero_quota_starts_exhausted() {
+        // A hostile request asking for quota 0 (or a server max of 0) must
+        // yield a budget that trips immediately, not an unlimited one.
+        let b = Budget::for_request(None, Some(0), None, None);
+        assert_eq!(b.checkpoint(), Err(Exhausted::Quota));
     }
 
     #[test]

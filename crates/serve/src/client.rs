@@ -1,0 +1,159 @@
+//! A small synchronous client for the shell-serve protocol, used by the
+//! CLI, the benchmark, the smoke test, and anything else that wants typed
+//! helpers instead of hand-rolled frames.
+
+use crate::protocol::{read_frame, write_frame};
+use crate::request::JobRequest;
+use shell_util::Json;
+use std::io;
+use std::net::TcpStream;
+
+/// One persistent connection to a shell-serve instance.
+pub struct Client {
+    stream: TcpStream,
+}
+
+/// A submit acknowledgement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Submitted {
+    /// Server-assigned job id.
+    pub id: u64,
+    /// Whether the artifact was served straight from the cache.
+    pub cached: bool,
+    /// The request's content-addressed cache key (hex).
+    pub key: String,
+}
+
+fn protocol_err(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Connection errors.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Frames are small request/response pairs; Nagle only adds latency.
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one raw command frame and reads the response frame. An
+    /// `{"ok": false}` response becomes an error carrying the server's
+    /// message.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, early disconnects, and server-reported errors.
+    pub fn request(&mut self, command: &Json) -> io::Result<Json> {
+        write_frame(&mut self.stream, command)?;
+        let response = read_frame(&mut self.stream)?
+            .ok_or_else(|| protocol_err("server closed the connection mid-request".into()))?;
+        if response.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(response)
+        } else {
+            let message = response
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("malformed server response")
+                .to_string();
+            Err(protocol_err(message))
+        }
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Transport and server errors.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.request(&Json::obj([("cmd", Json::from("ping"))]))
+            .map(|_| ())
+    }
+
+    /// Submits a job.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors and request validation errors from the server.
+    pub fn submit(&mut self, request: &JobRequest) -> io::Result<Submitted> {
+        let response = self.request(&Json::obj([
+            ("cmd", Json::from("submit")),
+            ("request", request.to_json()),
+        ]))?;
+        let field = |k: &str| {
+            response
+                .get(k)
+                .cloned()
+                .ok_or_else(|| protocol_err(format!("submit response missing `{k}`")))
+        };
+        Ok(Submitted {
+            id: field("id")?
+                .as_u64()
+                .ok_or_else(|| protocol_err("submit response id not numeric".into()))?,
+            cached: field("cached")?.as_bool().unwrap_or(false),
+            key: field("key")?.as_str().unwrap_or_default().to_string(),
+        })
+    }
+
+    /// Fetches a job's status document (including progress when running).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors and unknown-job errors.
+    pub fn status(&mut self, id: u64) -> io::Result<Json> {
+        self.request(&Json::obj([
+            ("cmd", Json::from("status")),
+            ("id", Json::from(id)),
+        ]))
+    }
+
+    /// Fetches a job's terminal document, blocking server-side up to
+    /// `wait_ms` for it to finish.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, unknown jobs, and still-running timeouts.
+    pub fn result(&mut self, id: u64, wait_ms: u64) -> io::Result<Json> {
+        self.request(&Json::obj([
+            ("cmd", Json::from("result")),
+            ("id", Json::from(id)),
+            ("wait_ms", Json::from(wait_ms)),
+        ]))
+    }
+
+    /// Requests cancellation of a job.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors and unknown-job errors.
+    pub fn cancel(&mut self, id: u64) -> io::Result<Json> {
+        self.request(&Json::obj([
+            ("cmd", Json::from("cancel")),
+            ("id", Json::from(id)),
+        ]))
+    }
+
+    /// Fetches server statistics (queue depth, job counts, cache
+    /// hit/miss/corrupt counters).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn stats(&mut self) -> io::Result<Json> {
+        self.request(&Json::obj([("cmd", Json::from("stats"))]))
+    }
+
+    /// Asks the server to shut down.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.request(&Json::obj([("cmd", Json::from("shutdown"))]))
+            .map(|_| ())
+    }
+}

@@ -1,0 +1,45 @@
+//! # shell-serve — locking-as-a-service with a content-addressed cache
+//!
+//! The batch tools in this workspace run one flow and exit. This crate
+//! turns the same flows — SheLL redaction ([`shell_lock`]), the SAT attack,
+//! activation equivalence, pipeline fuzzing — into a long-running service:
+//!
+//! * **Protocol** ([`protocol`]): length-prefixed JSON frames over TCP.
+//!   Untrusted bytes go through the hardened `shell_util` parser
+//!   (depth-limited, trailing-garbage-rejecting) and an oversized length
+//!   word is refused before allocation.
+//! * **Jobs** ([`request`], [`job`], [`server`]): submissions are queued,
+//!   persisted, and multiplexed onto a worker pool sized off
+//!   [`shell_exec::current_jobs`]. Every job runs under its own
+//!   `shell-guard` [`Budget`](shell_guard::Budget) (request knobs clamped
+//!   by `SHELL_SERVE_MAX_DEADLINE_MS` / `SHELL_SERVE_MAX_CONFLICTS`), is
+//!   cancellable mid-flight, and reports progress from `shell-trace`
+//!   counter deltas. Attack jobs checkpoint each DIP iteration, so a
+//!   killed server resumes in-flight work on restart and still produces a
+//!   byte-identical report.
+//! * **Cache** ([`cache`], [`hash`]): the centerpiece. Requests
+//!   canonicalize (generator specs and inline Verilog of the same design
+//!   converge on one [`write_verilog`](shell_netlist::verilog::write_verilog)
+//!   rendering) and hash — SHA-256 — into a content address; artifacts are
+//!   stored under versioned keys with an integrity hash alongside.
+//!   Repeated requests are served from disk in microseconds, corruption is
+//!   detected and recomputed rather than served, and a flow-version bump
+//!   invalidates every stale entry at once.
+//!
+//! [`shell_lock`]: shell_lock::shell_lock
+
+pub mod cache;
+pub mod client;
+pub mod hash;
+pub mod job;
+pub mod protocol;
+pub mod request;
+pub mod server;
+
+pub use cache::{ArtifactCache, FLOW_VERSION};
+pub use client::{Client, Submitted};
+pub use hash::{sha256, ContentHash, Sha256};
+pub use job::{run as run_job, JobOutput};
+pub use protocol::{read_frame, write_frame, MAX_FRAME_BYTES};
+pub use request::{canonical_netlist_json, CircuitSpec, JobKind, JobRequest, ResolvedJob};
+pub use server::{JobStatus, Server, ServerConfig};

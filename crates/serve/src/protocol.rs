@@ -1,0 +1,153 @@
+//! The wire protocol: length-prefixed JSON frames over TCP.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | u32 big-endian |  UTF-8 JSON, `len` bytes  |
+//! |     `len`      |  (compact or pretty)      |
+//! +----------------+---------------------------+
+//! ```
+//!
+//! The length prefix makes message boundaries explicit (no sniffing for
+//! balanced braces on a stream), and the JSON payload goes through the
+//! hardened [`shell_util::Json::parse`] — depth-limited and
+//! trailing-garbage-rejecting — because the bytes come from an untrusted
+//! peer. Frames above [`MAX_FRAME_BYTES`] are refused before any allocation
+//! so a hostile 4-byte header cannot reserve gigabytes.
+//!
+//! Connections are persistent: a client writes any number of request
+//! frames and reads one response frame per request, in order. A clean EOF
+//! between frames ends the conversation.
+
+use shell_util::Json;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame. Generous for inline-Verilog lock
+/// requests (megabytes at most) while bounding what a malicious header can
+/// make the server allocate.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates transport errors; refuses payloads above [`MAX_FRAME_BYTES`].
+pub fn write_frame(w: &mut impl Write, json: &Json) -> io::Result<()> {
+    let payload = json.to_string_compact();
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_BYTES)
+        .ok_or_else(|| invalid(format!("frame of {} bytes exceeds the maximum", payload.len())))?;
+    // One write per frame: a separate 4-byte header write would interact
+    // with Nagle's algorithm + delayed ACKs and stall every message by tens
+    // of milliseconds on a real TCP socket.
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(payload.as_bytes());
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` is a clean EOF **at a frame boundary**; EOF
+/// mid-frame, an oversized length, non-UTF-8 bytes, or malformed JSON are
+/// all [`io::ErrorKind::InvalidData`] errors (except the mid-frame EOF,
+/// which keeps [`io::ErrorKind::UnexpectedEof`]).
+///
+/// # Errors
+///
+/// See above.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
+    let mut header = [0u8; 4];
+    // Hand-rolled read_exact for the header so a clean EOF before any byte
+    // is distinguishable from a truncated header.
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "EOF inside frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(header);
+    if len > MAX_FRAME_BYTES {
+        return Err(invalid(format!("frame length {len} exceeds the maximum")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload).map_err(|e| invalid(format!("frame not UTF-8: {e}")))?;
+    Json::parse(&text)
+        .map(Some)
+        .map_err(|e| invalid(format!("frame not valid JSON: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        let a = Json::obj([("cmd", Json::from("ping"))]);
+        let b = Json::arr([Json::from(1u64), Json::from("héllo ☃")]);
+        write_frame(&mut buf, &a).unwrap();
+        write_frame(&mut buf, &b).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), Some(a));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(b));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF at boundary");
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        buf.extend_from_slice(b"whatever");
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_clean_eof() {
+        let mut full = Vec::new();
+        write_frame(&mut full, &Json::obj([("k", Json::from(1u64))])).unwrap();
+        // Cut inside the header and inside the payload.
+        for cut in [2, full.len() - 3] {
+            let err = read_frame(&mut &full[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_invalid_data() {
+        // Bad JSON (trailing garbage) and bad UTF-8, each with a correct
+        // length prefix.
+        for payload in [&b"{} {}"[..], &[0xff, 0xfe, 0x00][..]] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            buf.extend_from_slice(payload);
+            let err = read_frame(&mut buf.as_slice()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+    }
+
+    #[test]
+    fn depth_bomb_is_refused_by_the_hardened_parser() {
+        let bomb = "[".repeat(4096);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(bomb.len() as u32).to_be_bytes());
+        buf.extend_from_slice(bomb.as_bytes());
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("nesting"), "{err}");
+    }
+}

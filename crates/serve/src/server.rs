@@ -1,0 +1,886 @@
+//! The job server: a TCP accept loop, a worker pool sized off the
+//! shell-exec job count, durable job state, and the cache in front of it
+//! all.
+//!
+//! ## Job lifecycle
+//!
+//! ```text
+//! submit ──▶ Queued ──▶ Running ──▶ Done
+//!    │          │           ├─────▶ Failed
+//!    │          └───────────┴─────▶ Cancelled
+//!    └─(cache hit)─▶ Done, served from disk, no queue time
+//! ```
+//!
+//! Every submitted job is persisted to `state_dir/jobs/<id>.json` *before*
+//! the submit response goes out; terminal states move the record to
+//! `state_dir/results/<id>.json` and delete the pending file. A server that
+//! dies mid-run therefore restarts with the exact set of unfinished jobs on
+//! disk, re-enqueues them in id order, and — for attack jobs — resumes from
+//! the last per-iteration checkpoint in `state_dir/checkpoints/<id>.json`,
+//! producing a report byte-identical to an uninterrupted run (the resume
+//! contract of `shell_attacks::sat_attack_report`).
+//!
+//! ## Budgets and cancellation
+//!
+//! Each job runs under its own [`Budget`] built by
+//! [`Budget::from_request_env`]: the request's `deadline_ms` /
+//! `conflict_quota` clamped to the server's `SHELL_SERVE_MAX_DEADLINE_MS` /
+//! `SHELL_SERVE_MAX_CONFLICTS`. The `cancel` command cancels the budget of
+//! a running job cooperatively — the flow notices at its next checkpoint —
+//! and dequeues a queued one immediately. On restart a resumed job gets a
+//! *fresh* full budget: incremental resume replays the DIP prefix
+//! (re-spending its conflicts), so only a fresh budget reproduces the
+//! uninterrupted accounting.
+
+use crate::cache::ArtifactCache;
+use crate::job::{self, JobOutput};
+use crate::protocol::{read_frame, write_frame};
+use crate::request::{JobKind, JobRequest, ResolvedJob};
+use shell_attacks::AttackCheckpoint;
+use shell_guard::Budget;
+use shell_util::Json;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How a server is stood up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; `127.0.0.1:0` picks an ephemeral port.
+    pub addr: String,
+    /// Durable state root: `jobs/`, `results/`, `checkpoints/`, `cache/`.
+    pub state_dir: PathBuf,
+    /// Worker threads. `0` means [`shell_exec::current_jobs`], so
+    /// `SHELL_JOBS` sizes the service exactly like the batch tools.
+    pub workers: usize,
+}
+
+impl ServerConfig {
+    /// Ephemeral-port config rooted at `state_dir`.
+    pub fn ephemeral(state_dir: impl Into<PathBuf>) -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            state_dir: state_dir.into(),
+            workers: 0,
+        }
+    }
+}
+
+/// Lifecycle states a job moves through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted and persisted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished with an artifact.
+    Done,
+    /// Finished with an error.
+    Failed,
+    /// Cancelled before or during execution.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+
+    fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled
+        )
+    }
+}
+
+struct JobState {
+    request: JobRequest,
+    status: JobStatus,
+    /// Set while Running, so `cancel` can reach the flow.
+    budget: Option<Budget>,
+    /// Artifact payload (Done) — also what `results/<id>.json` stores.
+    result: Option<Json>,
+    error: Option<String>,
+    /// Served from the artifact cache without running.
+    cached: bool,
+    /// Trace-counter totals at job start; progress reports deltas.
+    counters_at_start: HashMap<String, u64>,
+}
+
+struct Inner {
+    state_dir: PathBuf,
+    cache: ArtifactCache,
+    max_deadline_ms: Option<u64>,
+    max_conflicts: Option<u64>,
+    /// Abort the process after an attack job spends this many conflicts —
+    /// the crash-injection hook the restart-resume smoke test uses.
+    crash_after_conflicts: Option<u64>,
+    jobs: Mutex<BTreeMap<u64, JobState>>,
+    /// Signalled on any job state change (workers and `result --wait`).
+    jobs_cv: Condvar,
+    queue: Mutex<VecDeque<u64>>,
+    queue_cv: Condvar,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    /// Set by [`Server::crash`]: suppress terminal persistence so pending
+    /// job files survive, exactly as they would across a SIGKILL.
+    crashing: AtomicBool,
+    requests: AtomicU64,
+}
+
+impl Inner {
+    fn queue_depth(&self) -> usize {
+        self.queue.lock().unwrap().len()
+    }
+}
+
+/// A running shell-serve instance. Dropping it shuts it down cleanly.
+pub struct Server {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn counters_now() -> HashMap<String, u64> {
+    shell_trace::current()
+        .map(|t| t.snapshot().counters.into_iter().collect())
+        .unwrap_or_default()
+}
+
+impl Server {
+    /// Binds, loads durable state, and starts the accept loop plus the
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Bind and state-directory I/O errors.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        // The service depends on trace counters for progress and on the
+        // SAT equivalence backend for verify jobs; make both unconditional
+        // so a bare `shell_serve serve` behaves like the test harness.
+        if !shell_trace::enabled() {
+            shell_trace::install(shell_trace::Tracer::new());
+        }
+        shell_verify::install();
+
+        for sub in ["jobs", "results", "checkpoints", "cache"] {
+            std::fs::create_dir_all(config.state_dir.join(sub))?;
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let inner = Arc::new(Inner {
+            cache: ArtifactCache::new(config.state_dir.join("cache")),
+            state_dir: config.state_dir,
+            max_deadline_ms: env_u64("SHELL_SERVE_MAX_DEADLINE_MS"),
+            max_conflicts: env_u64("SHELL_SERVE_MAX_CONFLICTS"),
+            crash_after_conflicts: env_u64("SHELL_SERVE_CRASH_AFTER_CONFLICTS"),
+            jobs: Mutex::new(BTreeMap::new()),
+            jobs_cv: Condvar::new(),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            next_id: AtomicU64::new(1),
+            shutdown: AtomicBool::new(false),
+            crashing: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+        });
+        inner.recover_persisted_jobs();
+
+        let worker_count = if config.workers == 0 {
+            shell_exec::current_jobs().max(1)
+        } else {
+            config.workers
+        };
+        let workers = (0..worker_count)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || inner.worker_loop())
+            })
+            .collect();
+        let accept_inner = Arc::clone(&inner);
+        let accept_thread = std::thread::spawn(move || accept_inner.accept_loop(listener));
+        Ok(Server {
+            inner,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The artifact cache (for statistics in tests and benchmarks).
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.inner.cache
+    }
+
+    /// Blocks until the server is told to shut down (protocol `shutdown`
+    /// command or [`Server::stop`] from another thread), then joins all
+    /// threads.
+    pub fn wait(mut self) {
+        self.join_threads();
+    }
+
+    /// Initiates shutdown and joins. Running jobs are cancelled via their
+    /// budgets and marked `Cancelled` — their pending files are cleaned up
+    /// normally.
+    pub fn stop(mut self) {
+        self.inner.begin_shutdown();
+        self.join_threads();
+    }
+
+    /// Simulates a hard kill for crash-recovery tests: cancels every
+    /// running budget, *suppresses all terminal persistence* (so pending
+    /// job files and checkpoints stay on disk exactly as a SIGKILL would
+    /// leave them), and joins the threads. A new [`Server::start`] on the
+    /// same state dir must then recover and finish the jobs.
+    pub fn crash(mut self) {
+        self.inner.crashing.store(true, Ordering::SeqCst);
+        self.inner.begin_shutdown();
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.inner.begin_shutdown();
+        self.join_threads();
+    }
+}
+
+impl Inner {
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Cancel whatever is running so workers come back promptly.
+        let jobs = self.jobs.lock().unwrap();
+        for state in jobs.values() {
+            if let Some(budget) = &state.budget {
+                budget.cancel();
+            }
+        }
+        drop(jobs);
+        self.queue_cv.notify_all();
+        self.jobs_cv.notify_all();
+    }
+
+    // ---- durable state ---------------------------------------------------
+
+    fn job_path(&self, id: u64) -> PathBuf {
+        self.state_dir.join("jobs").join(format!("{id}.json"))
+    }
+
+    fn result_path(&self, id: u64) -> PathBuf {
+        self.state_dir.join("results").join(format!("{id}.json"))
+    }
+
+    fn checkpoint_path(&self, id: u64) -> PathBuf {
+        self.state_dir.join("checkpoints").join(format!("{id}.json"))
+    }
+
+    fn persist_pending(&self, id: u64, request: &JobRequest) -> std::io::Result<()> {
+        let doc = Json::obj([("id", Json::from(id)), ("request", request.to_json())]);
+        let path = self.job_path(id);
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, doc.to_string_pretty())?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    fn persist_terminal(&self, id: u64, state: &JobState) {
+        if self.crashing.load(Ordering::SeqCst) {
+            return;
+        }
+        let doc = Json::obj([
+            ("id", Json::from(id)),
+            ("status", Json::from(state.status.label())),
+            ("request", state.request.to_json()),
+            ("cached", Json::from(state.cached)),
+            (
+                "result",
+                state.result.clone().unwrap_or(Json::Null),
+            ),
+            (
+                "error",
+                state
+                    .error
+                    .clone()
+                    .map(Json::from)
+                    .unwrap_or(Json::Null),
+            ),
+        ]);
+        let path = self.result_path(id);
+        let tmp = path.with_extension("tmp");
+        if std::fs::write(&tmp, doc.to_string_pretty()).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+        let _ = std::fs::remove_file(self.job_path(id));
+        let _ = std::fs::remove_file(self.checkpoint_path(id));
+    }
+
+    /// Startup recovery: finished jobs come back queryable from
+    /// `results/`, unfinished ones re-enqueue from `jobs/` in id order.
+    fn recover_persisted_jobs(&self) {
+        let mut max_id = 0u64;
+        let mut jobs = self.jobs.lock().unwrap();
+        for (dir, pending) in [("results", false), ("jobs", true)] {
+            let Ok(entries) = std::fs::read_dir(self.state_dir.join(dir)) else {
+                continue;
+            };
+            let mut docs: Vec<(u64, Json)> = entries
+                .flatten()
+                .filter_map(|e| {
+                    let text = std::fs::read_to_string(e.path()).ok()?;
+                    let doc = Json::parse(&text).ok()?;
+                    Some((doc.get("id")?.as_u64()?, doc))
+                })
+                .collect();
+            docs.sort_by_key(|(id, _)| *id);
+            for (id, doc) in docs {
+                let Some(request) = doc
+                    .get("request")
+                    .and_then(|r| JobRequest::from_json(r).ok())
+                else {
+                    continue;
+                };
+                max_id = max_id.max(id);
+                let status = if pending {
+                    JobStatus::Queued
+                } else {
+                    match doc.get("status").and_then(Json::as_str) {
+                        Some("done") => JobStatus::Done,
+                        Some("cancelled") => JobStatus::Cancelled,
+                        _ => JobStatus::Failed,
+                    }
+                };
+                jobs.insert(
+                    id,
+                    JobState {
+                        request,
+                        status,
+                        budget: None,
+                        result: doc.get("result").filter(|r| **r != Json::Null).cloned(),
+                        error: doc
+                            .get("error")
+                            .and_then(Json::as_str)
+                            .map(str::to_string),
+                        cached: doc
+                            .get("cached")
+                            .and_then(Json::as_bool)
+                            .unwrap_or(false),
+                        counters_at_start: HashMap::new(),
+                    },
+                );
+                if pending {
+                    self.queue.lock().unwrap().push_back(id);
+                    shell_trace::counter_add("serve.recovered_jobs", 1);
+                }
+            }
+        }
+        drop(jobs);
+        self.next_id.store(max_id + 1, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+
+    // ---- workers ---------------------------------------------------------
+
+    fn worker_loop(&self) {
+        loop {
+            let id = {
+                let mut queue = self.queue.lock().unwrap();
+                loop {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if let Some(id) = queue.pop_front() {
+                        break id;
+                    }
+                    queue = self.queue_cv.wait(queue).unwrap();
+                }
+            };
+            self.run_job(id);
+        }
+    }
+
+    fn run_job(&self, id: u64) {
+        // Claim the job; a cancel may have beaten us to it.
+        let (request, budget) = {
+            let mut jobs = self.jobs.lock().unwrap();
+            let Some(state) = jobs.get_mut(&id) else { return };
+            if state.status != JobStatus::Queued {
+                return;
+            }
+            let mut deadline = state.request.deadline_ms;
+            if let (Some(crash_at), JobKind::Attack) =
+                (self.crash_after_conflicts, state.request.kind)
+            {
+                // Crash injection wants the quota exhausted at a known
+                // point; a racing wall-clock deadline would make the abort
+                // site nondeterministic.
+                let quota = state.request.conflict_quota.unwrap_or(u64::MAX);
+                state.request.conflict_quota = Some(quota.min(crash_at));
+                deadline = None;
+            }
+            let budget = Budget::for_request(
+                deadline,
+                state.request.conflict_quota,
+                self.max_deadline_ms,
+                self.max_conflicts,
+            );
+            state.status = JobStatus::Running;
+            state.budget = Some(budget.clone());
+            state.counters_at_start = counters_now();
+            (state.request.clone(), budget)
+        };
+        self.jobs_cv.notify_all();
+        shell_trace::counter_add("serve.jobs_started", 1);
+
+        // Panics inside a flow (e.g. a selection precondition the request
+        // violates) must fail the job, not kill the worker thread.
+        let run = || request.resolve().and_then(|resolved| {
+            // A second chance at the cache: an identical job submitted
+            // while this one sat in the queue may have already stored the
+            // artifact.
+            if let Some(payload) = self.cache.lookup(&resolved.key) {
+                return Ok((
+                    JobOutput {
+                        payload,
+                        cacheable: false, // already stored
+                    },
+                    true,
+                ));
+            }
+            let (checkpoint_path, resume) = self.attack_state(id, &resolved);
+            let output = job::run(&resolved, &budget, checkpoint_path, resume)?;
+            if let (Some(crash_at), JobKind::Attack) =
+                (self.crash_after_conflicts, resolved.request.kind)
+            {
+                let _ = crash_at;
+                // The checkpoint for the interrupted iteration set is on
+                // disk; die like a SIGKILL would, before any terminal
+                // bookkeeping runs.
+                std::process::abort();
+            }
+            if output.cacheable {
+                let _ = self.cache.store(&resolved.key, &output.payload);
+            }
+            Ok((output, false))
+        });
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run))
+            .unwrap_or_else(|panic| {
+                let message = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("flow panicked");
+                Err(format!("job panicked: {message}"))
+            });
+
+        let mut jobs = self.jobs.lock().unwrap();
+        let Some(state) = jobs.get_mut(&id) else { return };
+        state.budget = None;
+        match outcome {
+            Ok((output, from_cache)) => {
+                state.cached = from_cache;
+                state.result = Some(output.payload);
+                state.status = if budget.is_cancelled() && !from_cache {
+                    JobStatus::Cancelled
+                } else {
+                    JobStatus::Done
+                };
+            }
+            Err(message) => {
+                state.error = Some(message);
+                state.status = if budget.is_cancelled() {
+                    JobStatus::Cancelled
+                } else {
+                    JobStatus::Failed
+                };
+            }
+        }
+        if self.crashing.load(Ordering::SeqCst) {
+            // Pretend the terminal transition never happened: the pending
+            // file stays, the restart re-runs the job.
+            state.status = JobStatus::Queued;
+            state.result = None;
+            state.error = None;
+        } else {
+            self.persist_terminal(id, state);
+            shell_trace::counter_add("serve.jobs_finished", 1);
+        }
+        drop(jobs);
+        self.jobs_cv.notify_all();
+    }
+
+    /// Attack jobs checkpoint under `checkpoints/<id>.json`; a file already
+    /// there is a previous incarnation's progress to resume from.
+    fn attack_state(
+        &self,
+        id: u64,
+        resolved: &ResolvedJob,
+    ) -> (Option<PathBuf>, Option<AttackCheckpoint>) {
+        if resolved.request.kind != JobKind::Attack {
+            return (None, None);
+        }
+        let path = self.checkpoint_path(id);
+        let resume = AttackCheckpoint::load(&path).ok();
+        if resume.is_some() {
+            shell_trace::counter_add("serve.attack_resumes", 1);
+        }
+        (Some(path), resume)
+    }
+
+    // ---- the protocol ----------------------------------------------------
+
+    fn accept_loop(self: Arc<Inner>, listener: TcpListener) {
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    shell_trace::counter_add("serve.connections", 1);
+                    let this = Arc::clone(&self);
+                    connections.push(std::thread::spawn(move || this.serve_connection(stream)));
+                    connections.retain(|c| !c.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        for c in connections {
+            let _ = c.join();
+        }
+    }
+
+    fn serve_connection(self: Arc<Inner>, stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        let _ = stream.set_nodelay(true);
+        let mut reader = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let mut writer = stream;
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let request = match read_frame(&mut reader) {
+                Ok(Some(json)) => json,
+                Ok(None) => return,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => {
+                    // Malformed frame: answer with the error, then drop the
+                    // connection — framing state is unrecoverable.
+                    let _ = write_frame(&mut writer, &err_json(&e.to_string()));
+                    return;
+                }
+            };
+            self.requests.fetch_add(1, Ordering::Relaxed);
+            shell_trace::counter_add("serve.requests", 1);
+            let response = self.dispatch(&request);
+            if write_frame(&mut writer, &response).is_err() {
+                return;
+            }
+            if request.get("cmd").and_then(Json::as_str) == Some("shutdown") {
+                return;
+            }
+        }
+    }
+
+    fn dispatch(&self, request: &Json) -> Json {
+        let Some(cmd) = request.get("cmd").and_then(Json::as_str) else {
+            return err_json("request needs a `cmd`");
+        };
+        match cmd {
+            "ping" => ok_json([("pong", Json::from(true))]),
+            "submit" => self.cmd_submit(request),
+            "status" => self.cmd_status(request),
+            "result" => self.cmd_result(request),
+            "cancel" => self.cmd_cancel(request),
+            "stats" => self.cmd_stats(),
+            "purge_cache" => match self.cache.purge() {
+                Ok(()) => ok_json([("purged", Json::from(true))]),
+                Err(e) => err_json(&format!("purge failed: {e}")),
+            },
+            "shutdown" => {
+                self.begin_shutdown();
+                ok_json([("stopping", Json::from(true))])
+            }
+            other => err_json(&format!("unknown command `{other}`")),
+        }
+    }
+
+    fn cmd_submit(&self, request: &Json) -> Json {
+        let Some(req_json) = request.get("request") else {
+            return err_json("submit needs a `request`");
+        };
+        let parsed = match JobRequest::from_json(req_json) {
+            Ok(r) => r,
+            Err(e) => return err_json(&e),
+        };
+        let resolved = match parsed.resolve() {
+            Ok(r) => r,
+            Err(e) => return err_json(&e),
+        };
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+
+        // Cache fast path: an identical request was computed before —
+        // answer Done straight from disk, no queue, no worker.
+        if let Some(payload) = self.cache.lookup(&resolved.key) {
+            let state = JobState {
+                request: parsed,
+                status: JobStatus::Done,
+                budget: None,
+                result: Some(payload),
+                error: None,
+                cached: true,
+                counters_at_start: HashMap::new(),
+            };
+            self.persist_terminal(id, &state);
+            self.jobs.lock().unwrap().insert(id, state);
+            self.jobs_cv.notify_all();
+            return ok_json([
+                ("id", Json::from(id)),
+                ("status", Json::from(JobStatus::Done.label())),
+                ("cached", Json::from(true)),
+                ("key", Json::from(resolved.key.as_hex().to_string())),
+            ]);
+        }
+
+        if let Err(e) = self.persist_pending(id, &parsed) {
+            return err_json(&format!("cannot persist job: {e}"));
+        }
+        self.jobs.lock().unwrap().insert(
+            id,
+            JobState {
+                request: parsed,
+                status: JobStatus::Queued,
+                budget: None,
+                result: None,
+                error: None,
+                cached: false,
+                counters_at_start: HashMap::new(),
+            },
+        );
+        self.queue.lock().unwrap().push_back(id);
+        self.queue_cv.notify_all();
+        shell_trace::gauge("serve.queue_depth", self.queue_depth() as f64);
+        ok_json([
+            ("id", Json::from(id)),
+            ("status", Json::from(JobStatus::Queued.label())),
+            ("cached", Json::from(false)),
+            ("key", Json::from(resolved.key.as_hex().to_string())),
+        ])
+    }
+
+    fn cmd_status(&self, request: &Json) -> Json {
+        let Some(id) = request.get("id").and_then(Json::as_u64) else {
+            return err_json("status needs an `id`");
+        };
+        let jobs = self.jobs.lock().unwrap();
+        let Some(state) = jobs.get(&id) else {
+            return err_json(&format!("no such job {id}"));
+        };
+        let mut fields = vec![
+            ("id".to_string(), Json::from(id)),
+            (
+                "status".to_string(),
+                Json::from(state.status.label()),
+            ),
+            ("kind".to_string(), Json::from(state.request.kind.label())),
+            ("cached".to_string(), Json::from(state.cached)),
+        ];
+        if let Some(e) = &state.error {
+            fields.push(("error".to_string(), Json::from(e.clone())));
+        }
+        if state.status == JobStatus::Running {
+            fields.push(("progress".to_string(), self.progress(id, state)));
+        }
+        ok_json(fields)
+    }
+
+    /// Progress for a running job: completed attack iterations from its
+    /// checkpoint file, plus the server-wide trace-counter deltas since the
+    /// job started (solver conflicts, PnR retries, …). The deltas are
+    /// server-global — with concurrent jobs they over-approximate one
+    /// job's work — but they move monotonically while the job does, which
+    /// is what a liveness probe needs.
+    fn progress(&self, id: u64, state: &JobState) -> Json {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        if state.request.kind == JobKind::Attack {
+            if let Ok(cp) = AttackCheckpoint::load(&self.checkpoint_path(id)) {
+                fields.push(("iterations".to_string(), Json::from(cp.iterations)));
+                fields.push((
+                    "conflicts_spent".to_string(),
+                    Json::from(cp.conflicts_spent),
+                ));
+            }
+        }
+        let mut deltas: Vec<(String, Json)> = counters_now()
+            .into_iter()
+            .filter_map(|(name, now)| {
+                let before = state.counters_at_start.get(&name).copied().unwrap_or(0);
+                (now > before).then(|| (name, Json::from(now - before)))
+            })
+            .collect();
+        deltas.sort_by(|a, b| a.0.cmp(&b.0));
+        fields.push(("counter_deltas".to_string(), Json::obj(deltas)));
+        Json::obj(fields)
+    }
+
+    fn cmd_result(&self, request: &Json) -> Json {
+        let Some(id) = request.get("id").and_then(Json::as_u64) else {
+            return err_json("result needs an `id`");
+        };
+        let wait_ms = request.get("wait_ms").and_then(Json::as_u64).unwrap_or(0);
+        let deadline = Instant::now() + Duration::from_millis(wait_ms);
+        let mut jobs = self.jobs.lock().unwrap();
+        loop {
+            let Some(state) = jobs.get(&id) else {
+                return err_json(&format!("no such job {id}"));
+            };
+            if state.status.is_terminal() {
+                return ok_json([
+                    ("id", Json::from(id)),
+                    ("status", Json::from(state.status.label())),
+                    ("cached", Json::from(state.cached)),
+                    (
+                        "result",
+                        state.result.clone().unwrap_or(Json::Null),
+                    ),
+                    (
+                        "error",
+                        state
+                            .error
+                            .clone()
+                            .map(Json::from)
+                            .unwrap_or(Json::Null),
+                    ),
+                ]);
+            }
+            let now = Instant::now();
+            if now >= deadline || self.shutdown.load(Ordering::SeqCst) {
+                return err_json(&format!(
+                    "job {id} still {}; pass `wait_ms` to block",
+                    state.status.label()
+                ));
+            }
+            let (guard, _timeout) = self
+                .jobs_cv
+                .wait_timeout(jobs, (deadline - now).min(Duration::from_millis(200)))
+                .unwrap();
+            jobs = guard;
+        }
+    }
+
+    fn cmd_cancel(&self, request: &Json) -> Json {
+        let Some(id) = request.get("id").and_then(Json::as_u64) else {
+            return err_json("cancel needs an `id`");
+        };
+        let mut jobs = self.jobs.lock().unwrap();
+        let Some(state) = jobs.get_mut(&id) else {
+            return err_json(&format!("no such job {id}"));
+        };
+        let answer = match state.status {
+            JobStatus::Queued => {
+                state.status = JobStatus::Cancelled;
+                self.queue.lock().unwrap().retain(|&q| q != id);
+                self.persist_terminal(id, state);
+                "cancelled"
+            }
+            JobStatus::Running => {
+                if let Some(budget) = &state.budget {
+                    budget.cancel();
+                }
+                // The worker observes the cancelled budget at its next
+                // checkpoint and finishes the terminal transition itself.
+                "cancelling"
+            }
+            terminal => terminal.label(),
+        };
+        shell_trace::counter_add("serve.cancels", 1);
+        drop(jobs);
+        self.jobs_cv.notify_all();
+        ok_json([("id", Json::from(id)), ("state", Json::from(answer))])
+    }
+
+    fn cmd_stats(&self) -> Json {
+        let jobs = self.jobs.lock().unwrap();
+        let mut by_status: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for state in jobs.values() {
+            *by_status.entry(state.status.label()).or_insert(0) += 1;
+        }
+        drop(jobs);
+        ok_json([
+            ("requests", Json::from(self.requests.load(Ordering::Relaxed))),
+            ("queue_depth", Json::from(self.queue_depth())),
+            (
+                "jobs",
+                Json::obj(
+                    by_status
+                        .into_iter()
+                        .map(|(k, v)| (k.to_string(), Json::from(v))),
+                ),
+            ),
+            (
+                "cache",
+                Json::obj([
+                    ("hits", Json::from(self.cache.hits())),
+                    ("misses", Json::from(self.cache.misses())),
+                    ("corrupt", Json::from(self.cache.corrupt())),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn ok_json<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
+    let mut pairs: Vec<(String, Json)> = vec![("ok".to_string(), Json::from(true))];
+    pairs.extend(fields.into_iter().map(|(k, v)| (k.into(), v)));
+    Json::obj(pairs)
+}
+
+fn err_json(message: &str) -> Json {
+    Json::obj([
+        ("ok", Json::from(false)),
+        ("error", Json::from(message.to_string())),
+    ])
+}

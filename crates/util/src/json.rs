@@ -156,13 +156,19 @@ impl Json {
 
     /// Parses JSON text.
     ///
+    /// Safe on untrusted input: anything after the top-level value (other
+    /// than whitespace) is rejected, and nesting is capped at
+    /// [`MAX_PARSE_DEPTH`] containers so a crafted `[[[[…` cannot blow the
+    /// stack — the recursive-descent parser recurses once per container
+    /// level.
+    ///
     /// # Errors
     ///
     /// Returns the byte offset and description of the first syntax error.
     pub fn parse(text: &str) -> Result<Json, String> {
         let bytes = text.as_bytes();
         let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(format!("trailing data at byte {pos}"));
@@ -170,6 +176,12 @@ impl Json {
         Ok(value)
     }
 }
+
+/// Maximum container nesting depth [`Json::parse`] accepts. Every artifact
+/// the workspace emits nests a handful of levels; 128 leaves two orders of
+/// magnitude of headroom while keeping the parser's stack usage bounded on
+/// adversarial input (shell-serve feeds network bytes straight into it).
+pub const MAX_PARSE_DEPTH: usize = 128;
 
 impl From<bool> for Json {
     fn from(v: bool) -> Self {
@@ -251,7 +263,7 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err("unexpected end of input".into()),
@@ -260,6 +272,11 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
         Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
         Some(b'"') => parse_string(bytes, pos).map(Json::Str),
         Some(b'[') => {
+            if depth >= MAX_PARSE_DEPTH {
+                return Err(format!(
+                    "nesting deeper than {MAX_PARSE_DEPTH} at byte {pos}"
+                ));
+            }
             *pos += 1;
             let mut items = Vec::new();
             skip_ws(bytes, pos);
@@ -268,7 +285,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -281,6 +298,11 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
             }
         }
         Some(b'{') => {
+            if depth >= MAX_PARSE_DEPTH {
+                return Err(format!(
+                    "nesting deeper than {MAX_PARSE_DEPTH} at byte {pos}"
+                ));
+            }
             *pos += 1;
             let mut pairs = Vec::new();
             skip_ws(bytes, pos);
@@ -296,7 +318,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
                     return Err(format!("expected ':' at byte {pos}"));
                 }
                 *pos += 1;
-                let value = parse_value(bytes, pos)?;
+                let value = parse_value(bytes, pos, depth + 1)?;
                 pairs.push((key, value));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
@@ -380,11 +402,20 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (multi-byte sequences pass through).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().ok_or("unterminated string")?;
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the whole run of unescaped bytes and validate its
+                // UTF-8 once. (`"` and `\` are ASCII, so a raw byte scan
+                // cannot split a multi-byte sequence.) Validating from
+                // `pos` to end-of-input per character instead is quadratic
+                // and made large-artifact parses ~100x slower.
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+                out.push_str(run);
             }
         }
     }
@@ -454,6 +485,47 @@ mod tests {
         assert!(Json::parse("nul").is_err());
         assert!(Json::parse("1 2").is_err());
         assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage_after_top_level_value() {
+        // Untrusted-input contract: nothing but whitespace may follow the
+        // top-level value. A lenient parser here would let a malicious
+        // request smuggle a second payload past a length check.
+        for text in [
+            "{}x",
+            "{} {}",
+            "[1] 2",
+            "null null",
+            "true,",
+            "\"s\"\"t\"",
+            "7 //comment",
+        ] {
+            let err = Json::parse(text).unwrap_err();
+            assert!(err.contains("trailing"), "`{text}` -> {err}");
+        }
+        // ...but trailing whitespace alone is fine.
+        assert_eq!(Json::parse(" {} \n\t").unwrap(), Json::Obj(vec![]));
+    }
+
+    #[test]
+    fn parse_enforces_depth_limit() {
+        // A value at exactly the limit parses...
+        let ok = "[".repeat(MAX_PARSE_DEPTH) + &"]".repeat(MAX_PARSE_DEPTH);
+        assert!(Json::parse(&ok).is_ok());
+        // ...one level past it is a typed error, not a stack overflow —
+        // even at bomb depth (this would recurse ~500k frames unchecked).
+        for depth in [MAX_PARSE_DEPTH + 1, 500_000] {
+            let arr_bomb = "[".repeat(depth);
+            let err = Json::parse(&arr_bomb).unwrap_err();
+            assert!(err.contains("nesting deeper"), "{err}");
+        }
+        let obj_bomb = "{\"k\":".repeat(MAX_PARSE_DEPTH + 1);
+        let err = Json::parse(&obj_bomb).unwrap_err();
+        assert!(err.contains("nesting deeper"), "{err}");
+        // Mixed nesting counts every container level.
+        let mixed = "[{\"k\":".repeat((MAX_PARSE_DEPTH / 2) + 1);
+        assert!(Json::parse(&mixed).is_err());
     }
 
     #[test]

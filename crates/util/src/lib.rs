@@ -42,6 +42,6 @@ pub mod prop;
 pub mod rng;
 
 pub use bench::{Bench, BenchReport};
-pub use json::Json;
+pub use json::{Json, MAX_PARSE_DEPTH};
 pub use prop::{forall, shrink_to_minimal, Shrink};
 pub use rng::{split_mix64, Rng};

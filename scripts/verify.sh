@@ -162,4 +162,105 @@ for jobs in 1 4; do
 done
 echo "ok"
 
+# Serve smoke: the locking service end-to-end over its TCP CLI — a cache
+# hit must serve byte-identical artifact bytes, cancellation must reach a
+# running job, and a server aborted mid-attack (via the crash-injection
+# hook) must resume the job from its DIP checkpoint after restart and
+# produce a report byte-identical to the uninterrupted run.
+echo "== serve smoke: cache hit, cancel, crash-resume over TCP =="
+serve_bin=target/release/shell_serve
+serve_tmp=$(mktemp -d)
+trap 'rm -f "$fuzz_j1" "$fuzz_j4"; rm -rf "$serve_tmp"' EXIT
+
+serve_wait_port() {
+    for _ in $(seq 1 100); do
+        [ -s "$1" ] && return 0
+        sleep 0.1
+    done
+    echo "serve smoke: server never wrote $1" >&2
+    return 1
+}
+serve_id() { sed -E 's/.*"id":([0-9]+).*/\1/' <<<"$1"; }
+
+"$serve_bin" serve --state-dir "$serve_tmp/a" --port-file "$serve_tmp/port" 2>/dev/null &
+serve_pid=$!
+serve_wait_port "$serve_tmp/port"
+port_flag=(--port-file "$serve_tmp/port")
+
+# Lock job + cache: the identical second request must answer
+# `cached:true` and serve the same bytes.
+lock_req='{"kind":"lock","seed":12}'
+sub1=$("$serve_bin" submit "${port_flag[@]}" "$lock_req")
+case "$sub1" in *'"cached":false'*) ;; *)
+    echo "first submit unexpectedly cached: $sub1" >&2; exit 1 ;;
+esac
+"$serve_bin" result "${port_flag[@]}" --id "$(serve_id "$sub1")" --wait-ms 120000 \
+    > "$serve_tmp/lock1.json"
+sub2=$("$serve_bin" submit "${port_flag[@]}" "$lock_req")
+case "$sub2" in *'"cached":true'*) ;; *)
+    echo "identical request missed the cache: $sub2" >&2; exit 1 ;;
+esac
+"$serve_bin" result "${port_flag[@]}" --id "$(serve_id "$sub2")" > "$serve_tmp/lock2.json"
+cmp "$serve_tmp/lock1.json" "$serve_tmp/lock2.json" || {
+    echo "cache hit served different artifact bytes" >&2
+    exit 1
+}
+
+# Cancel: a long attack, cancelled right after submission, must land in
+# the `cancelled` terminal state (and `result` must refuse to print it).
+slow_req='{"kind":"attack","circuit":{"gen":"axi_xbar","channels":10,"width":6},"key_bits":56,"seed":9}'
+slow_id=$(serve_id "$("$serve_bin" submit "${port_flag[@]}" "$slow_req")")
+"$serve_bin" cancel "${port_flag[@]}" --id "$slow_id" >/dev/null
+if "$serve_bin" result "${port_flag[@]}" --id "$slow_id" --wait-ms 120000 2>/dev/null; then
+    echo "cancelled job still produced a result" >&2
+    exit 1
+fi
+"$serve_bin" status "${port_flag[@]}" --id "$slow_id" | grep -q '"status":"cancelled"' || {
+    echo "cancel did not reach the job" >&2
+    exit 1
+}
+
+# Crash-resume: reference report from the uninterrupted server above ...
+attack_req='{"kind":"attack","circuit":{"gen":"axi_xbar","channels":6,"width":4},"key_bits":40,"seed":5}'
+ref_id=$(serve_id "$("$serve_bin" submit "${port_flag[@]}" "$attack_req")")
+"$serve_bin" result "${port_flag[@]}" --id "$ref_id" --wait-ms 120000 \
+    > "$serve_tmp/attack_ref.json"
+"$serve_bin" shutdown "${port_flag[@]}"
+wait "$serve_pid" || true
+
+# ... then the same request on a fresh server that aborts itself after
+# 200 solver conflicts (a few of this attack's 9 DIP iterations),
+# leaving the pending job and its DIP checkpoint on disk.
+SHELL_SERVE_CRASH_AFTER_CONFLICTS=200 "$serve_bin" serve \
+    --state-dir "$serve_tmp/b" --port-file "$serve_tmp/port_b" 2>/dev/null &
+crash_pid=$!
+serve_wait_port "$serve_tmp/port_b"
+crash_id=$(serve_id "$("$serve_bin" submit --port-file "$serve_tmp/port_b" "$attack_req")")
+if wait "$crash_pid"; then
+    echo "crash-hooked server exited cleanly instead of aborting" >&2
+    exit 1
+fi
+test -f "$serve_tmp/b/jobs/$crash_id.json" || {
+    echo "crashed server lost the pending job" >&2
+    exit 1
+}
+test -f "$serve_tmp/b/checkpoints/$crash_id.json" || {
+    echo "crashed server left no DIP checkpoint" >&2
+    exit 1
+}
+# Restart on the same state dir: the job re-enqueues, resumes from the
+# checkpoint, and must produce a byte-identical report.
+"$serve_bin" serve --state-dir "$serve_tmp/b" --port-file "$serve_tmp/port_b2" 2>/dev/null &
+resume_pid=$!
+serve_wait_port "$serve_tmp/port_b2"
+"$serve_bin" result --port-file "$serve_tmp/port_b2" --id "$crash_id" --wait-ms 120000 \
+    > "$serve_tmp/attack_resumed.json"
+cmp "$serve_tmp/attack_ref.json" "$serve_tmp/attack_resumed.json" || {
+    echo "resumed attack report differs from the uninterrupted run" >&2
+    exit 1
+}
+"$serve_bin" shutdown --port-file "$serve_tmp/port_b2"
+wait "$resume_pid" || true
+echo "ok"
+
 echo "verify: all green (hermetic)"
