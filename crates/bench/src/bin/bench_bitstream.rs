@@ -1,0 +1,176 @@
+//! Frame-addressed bitstream benchmark: full-write vs dirty-frame partial
+//! reconfiguration, plus the SECDED/CRC overhead per fabric size, with the
+//! protection contract re-checked on every measured configuration.
+//!
+//! Emits `results/BENCH_bitstream.json` with verdict booleans the smoke
+//! test greps:
+//!
+//! * `roundtrip_ok` — flat → framed → flat is lossless on every fabric;
+//! * `tamper_corrected` — a single-bit codeword upset reads back corrected;
+//! * `double_detected` — a double-bit upset is refused, never silently read;
+//! * `partial_strictly_fewer` — a 1-frame-dirty reconfiguration writes
+//!   strictly fewer frames than a full write;
+//! * `frames_skipped_confirmed` — the `bitstream.frames_skipped` trace
+//!   counter accounts for exactly the untouched frames.
+
+use shell_bench::{f2, trace_finish, write_results_json, Table};
+use shell_fabric::frame::FRAME_TOTAL_BITS;
+use shell_fabric::{Bitstream, Fabric, FabricConfig, FrameGeometry, FramedBitstream, PartialReconfig};
+use shell_util::{Json, Rng};
+use std::time::Instant;
+
+fn demo_flat(geometry: FrameGeometry, seed: u64) -> Bitstream {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut flat = Bitstream::zeros(geometry.flat_bits());
+    for i in 0..flat.len() {
+        let v = rng.bounded(4);
+        flat.set_unused(i, v & 1 == 1);
+        if v & 2 == 2 {
+            flat.mark_used(i);
+        }
+    }
+    flat
+}
+
+fn counter(name: &str) -> u64 {
+    shell_trace::current()
+        .map(|t| {
+            t.snapshot()
+                .counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .map_or(0, |&(_, v)| v)
+        })
+        .unwrap_or(0)
+}
+
+fn main() {
+    // The bench reads its own counters, so it installs a tracer
+    // unconditionally instead of waiting for SHELL_TRACE.
+    shell_trace::install(shell_trace::Tracer::new());
+
+    let mut table = Table::new(&[
+        "fabric",
+        "flat_bits",
+        "frames",
+        "stored_bits",
+        "ecc_overhead",
+        "full_us",
+        "partial_us",
+        "full_writes",
+        "partial_writes",
+    ]);
+    let mut sizes = Vec::new();
+    let mut roundtrip_ok = true;
+    let mut tamper_corrected = true;
+    let mut double_detected = true;
+    let mut partial_strictly_fewer = true;
+    let mut frames_skipped_confirmed = true;
+
+    for (w, h) in [(2usize, 2usize), (3, 3), (4, 4)] {
+        let fabric = Fabric::generate(FabricConfig::fabulous_style(true), w, h);
+        let geometry = FrameGeometry::of(&fabric);
+        let name = format!("fabulous_{w}x{h}");
+
+        let base_flat = demo_flat(geometry, 0xB17_57AE);
+        let base = FramedBitstream::from_flat(&fabric, &base_flat).expect("packs");
+        roundtrip_ok &= base.to_flat().expect("decodes") == base_flat;
+
+        // The protection contract, re-checked on this exact configuration.
+        let addr = geometry.address_at(geometry.frame_count() / 2);
+        let mut probe = base.clone();
+        let pristine = probe.readback(addr).expect("clean read");
+        probe.flip_code_bit(addr, 13).unwrap();
+        tamper_corrected &= matches!(
+            fabric.readback_frame(&probe, addr),
+            Ok(rb) if rb.data == pristine.data && rb.corrected == Some(13)
+        );
+        probe.flip_code_bit(addr, 29).unwrap();
+        double_detected &= fabric.readback_frame(&probe, addr).is_err();
+
+        // Target: the base with a single flat bit flipped — exactly one
+        // dirty frame, the paper's "swap one key bit" reconfiguration.
+        let mut target_flat = base_flat.clone();
+        target_flat.set_unused(0, !target_flat.as_bools()[0]);
+        let target = FramedBitstream::from_flat(&fabric, &target_flat).expect("packs");
+
+        // Full write.
+        let written_before = counter("bitstream.frames_written");
+        let mut device = base.clone();
+        let t0 = Instant::now();
+        let full_writes = device.write_full(&target).expect("full write");
+        let full_us = t0.elapsed().as_secs_f64() * 1e6;
+        assert_eq!(counter("bitstream.frames_written") - written_before, full_writes as u64);
+
+        // Partial reconfiguration of the same delta.
+        let skipped_before = counter("bitstream.frames_skipped");
+        let mut device = base.clone();
+        let t0 = Instant::now();
+        let delta = PartialReconfig::diff(&device, &target).expect("diff");
+        let partial_writes = delta.apply(&mut device).expect("apply");
+        let partial_us = t0.elapsed().as_secs_f64() * 1e6;
+        let skipped = counter("bitstream.frames_skipped") - skipped_before;
+
+        roundtrip_ok &= device.to_flat().expect("decodes").as_bools() == target_flat.as_bools();
+        partial_strictly_fewer &= partial_writes < full_writes;
+        frames_skipped_confirmed &=
+            skipped == (geometry.frame_count() - partial_writes) as u64 && partial_writes == 1;
+
+        // Stored bits per frame: 32 data + 8 CRC + 7 SECDED = 47.
+        let stored_bits = geometry.frame_count() * FRAME_TOTAL_BITS;
+        let overhead = stored_bits as f64 / geometry.flat_bits() as f64;
+        table.row(vec![
+            name.clone(),
+            geometry.flat_bits().to_string(),
+            geometry.frame_count().to_string(),
+            stored_bits.to_string(),
+            f2(overhead),
+            f2(full_us),
+            f2(partial_us),
+            full_writes.to_string(),
+            partial_writes.to_string(),
+        ]);
+        sizes.push(Json::obj([
+            ("fabric", Json::from(name)),
+            ("flat_bits", Json::from(geometry.flat_bits())),
+            ("frames", Json::from(geometry.frame_count())),
+            ("stored_bits", Json::from(stored_bits)),
+            ("ecc_overhead", Json::from(overhead)),
+            ("full_us", Json::from(full_us)),
+            ("partial_us", Json::from(partial_us)),
+            ("full_writes", Json::from(full_writes)),
+            ("partial_writes", Json::from(partial_writes)),
+            ("frames_skipped", Json::from(skipped)),
+        ]));
+    }
+
+    table.print("frame-addressed bitstream: full write vs partial reconfiguration");
+    println!("roundtrip_ok:            {roundtrip_ok}");
+    println!("tamper_corrected:        {tamper_corrected}");
+    println!("double_detected:         {double_detected}");
+    println!("partial_strictly_fewer:  {partial_strictly_fewer}");
+    println!("frames_skipped_confirmed: {frames_skipped_confirmed}");
+
+    let json = Json::obj([
+        ("sizes", Json::arr(sizes)),
+        ("table", table.to_json()),
+        ("roundtrip_ok", Json::from(roundtrip_ok)),
+        ("tamper_corrected", Json::from(tamper_corrected)),
+        ("double_detected", Json::from(double_detected)),
+        ("partial_strictly_fewer", Json::from(partial_strictly_fewer)),
+        ("frames_skipped_confirmed", Json::from(frames_skipped_confirmed)),
+    ]);
+    match write_results_json("BENCH_bitstream", &json) {
+        Ok(path) => println!("\nresults: {path}"),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+    trace_finish("bench_bitstream");
+    assert!(
+        roundtrip_ok
+            && tamper_corrected
+            && double_detected
+            && partial_strictly_fewer
+            && frames_skipped_confirmed,
+        "bitstream bench verdicts must all hold"
+    );
+}

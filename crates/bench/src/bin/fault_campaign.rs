@@ -50,9 +50,10 @@ fn main() {
     let report = fault_campaign(&mapped, &pnr.fabric, &pnr.bitstream, &pnr.io_map, faults, seed);
     let json = report.to_json();
     println!(
-        "fault_campaign: {} faults, detected={} masked={} undetected={} panics={}",
+        "fault_campaign: {} faults, detected={} corrected={} masked={} undetected={} panics={}",
         report.records.len(),
         report.count(shell_verify::FaultOutcome::Detected),
+        report.count(shell_verify::FaultOutcome::Corrected),
         report.count(shell_verify::FaultOutcome::Masked),
         report.count(shell_verify::FaultOutcome::Undetected),
         report.count(shell_verify::FaultOutcome::Panicked),

@@ -10,7 +10,7 @@
 use crate::decouple::{partition_by_cells, RedactionPartition};
 use crate::select::{select_subcircuit, SelectionOptions};
 use shell_fabric::{
-    shrink_locked_netlist, to_locked_netlist, Bitstream, Fabric, FabricConfig,
+    shrink_locked_netlist, to_locked_netlist, Bitstream, Fabric, FabricConfig, FramedBitstream,
 };
 use shell_netlist::{CellId, Netlist};
 use shell_pnr::{place_and_route_with_chains, PnrError, PnrOptions};
@@ -65,8 +65,12 @@ pub struct RedactionOutcome {
     pub key: Vec<bool>,
     /// The fabric the sub-circuit was mapped to.
     pub fabric: Fabric,
-    /// The full fabric bitstream (pre-shrink view).
+    /// The full fabric bitstream (pre-shrink view), flat v1 form.
     pub bitstream: Bitstream,
+    /// The same configuration in the canonical frame-addressed form:
+    /// per-frame CRC + SECDED ECC, device-style addresses, ready for
+    /// readback and partial reconfiguration (see [`shell_fabric::frame`]).
+    pub framed: FramedBitstream,
     /// The partition that was redacted.
     pub partition_cells: usize,
     /// Mux share of the redacted cells.
@@ -229,11 +233,14 @@ pub(crate) fn finish(
         .reassemble(fabric_netlist)
         .map_err(|e| PnrError::VerificationFailed(format!("reassembly failed: {e}")))?;
     let _ = design;
+    let framed = FramedBitstream::from_flat(&pnr.fabric, &pnr.bitstream)
+        .map_err(|e| PnrError::VerificationFailed(format!("frame packing failed: {e}")))?;
     Ok(RedactionOutcome {
         locked,
         key,
         fabric: pnr.fabric,
         bitstream: pnr.bitstream,
+        framed,
         partition_cells: partition.cells_moved,
         route_cells: partition.route_cells,
         utilization: pnr.utilization,

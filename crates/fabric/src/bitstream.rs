@@ -2,6 +2,49 @@
 
 use std::fmt;
 
+/// Typed access errors of the flat bitstream.
+///
+/// The original accessors panicked on out-of-range indices — acceptable in
+/// the batch tools, fatal in a long-running service where one bad frame
+/// address would kill a worker thread. The `try_*` accessors return this
+/// error instead; the panicking accessors remain as thin wrappers for the
+/// many internal callers whose indices are in range by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitstreamError {
+    /// A single-bit access beyond the bitstream.
+    OutOfRange {
+        /// The requested bit position.
+        index: usize,
+        /// The bitstream length.
+        len: usize,
+    },
+    /// A multi-bit field that does not fit in the bitstream.
+    FieldOutOfRange {
+        /// First bit of the field.
+        base: usize,
+        /// Field width in bits.
+        width: usize,
+        /// The bitstream length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitstreamError::OutOfRange { index, len } => {
+                write!(f, "bit {index} out of range for a {len}-bit bitstream")
+            }
+            BitstreamError::FieldOutOfRange { base, width, len } => write!(
+                f,
+                "field [{base}, {base}+{width}) out of range for a {len}-bit bitstream"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BitstreamError {}
+
 /// A fabric configuration: one bit per position of the fabric's bit layout,
 /// plus a *used* mask recording which bits the place-and-route flow actually
 /// relies on (everything else is a shrink candidate for step 8).
@@ -46,13 +89,38 @@ impl Bitstream {
     ///
     /// Panics when `i` is out of range.
     pub fn bit(&self, i: usize) -> bool {
-        self.bits[i]
+        self.try_bit(i).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Reads bit `i`, returning an error instead of panicking when `i`
+    /// is out of range.
+    pub fn try_bit(&self, i: usize) -> Result<bool, BitstreamError> {
+        self.bits
+            .get(i)
+            .copied()
+            .ok_or(BitstreamError::OutOfRange { index: i, len: self.bits.len() })
     }
 
     /// Sets bit `i` and marks it used.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
     pub fn set(&mut self, i: usize, value: bool) {
-        self.bits[i] = value;
+        self.try_set(i, value).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Sets bit `i` and marks it used, returning an error instead of
+    /// panicking when `i` is out of range.
+    pub fn try_set(&mut self, i: usize, value: bool) -> Result<(), BitstreamError> {
+        let len = self.bits.len();
+        let slot = self
+            .bits
+            .get_mut(i)
+            .ok_or(BitstreamError::OutOfRange { index: i, len })?;
+        *slot = value;
         self.used[i] = true;
+        Ok(())
     }
 
     /// Sets bit `i` without marking it used (default/don't-care fill).
@@ -96,15 +164,57 @@ impl Bitstream {
 
     /// Writes an encoded mux select value starting at `base`, `width` bits,
     /// LSB first, all marked used.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the field does not fit in the bitstream.
     pub fn set_field(&mut self, base: usize, width: usize, value: u64) {
+        self.try_set_field(base, width, value)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`set_field`](Self::set_field): validates the whole field
+    /// before writing any bit, so a failed call leaves the bitstream
+    /// untouched.
+    pub fn try_set_field(
+        &mut self,
+        base: usize,
+        width: usize,
+        value: u64,
+    ) -> Result<(), BitstreamError> {
+        self.check_field(base, width)?;
         for i in 0..width {
-            self.set(base + i, (value >> i) & 1 == 1);
+            self.bits[base + i] = (value >> i) & 1 == 1;
+            self.used[base + i] = true;
         }
+        Ok(())
     }
 
     /// Reads an LSB-first field.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the field does not fit in the bitstream.
     pub fn field(&self, base: usize, width: usize) -> u64 {
-        (0..width).fold(0u64, |acc, i| acc | ((self.bits[base + i] as u64) << i))
+        self.try_field(base, width).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`field`](Self::field).
+    pub fn try_field(&self, base: usize, width: usize) -> Result<u64, BitstreamError> {
+        self.check_field(base, width)?;
+        Ok((0..width).fold(0u64, |acc, i| acc | ((self.bits[base + i] as u64) << i)))
+    }
+
+    fn check_field(&self, base: usize, width: usize) -> Result<(), BitstreamError> {
+        let end = base.checked_add(width);
+        if end.map_or(true, |e| e > self.bits.len()) {
+            return Err(BitstreamError::FieldOutOfRange {
+                base,
+                width,
+                len: self.bits.len(),
+            });
+        }
+        Ok(())
     }
 
     /// Hamming distance to another bitstream of equal length.
@@ -209,6 +319,39 @@ mod tests {
         b.set(0, true); // nibble0 = 0x1
         b.set(7, true); // nibble1 = 0x8
         assert_eq!(b.to_hex(), "18");
+    }
+
+    #[test]
+    fn try_accessors_report_out_of_range() {
+        let mut b = Bitstream::zeros(8);
+        assert_eq!(b.try_bit(8), Err(BitstreamError::OutOfRange { index: 8, len: 8 }));
+        assert_eq!(b.try_set(9, true), Err(BitstreamError::OutOfRange { index: 9, len: 8 }));
+        assert_eq!(
+            b.try_field(4, 5),
+            Err(BitstreamError::FieldOutOfRange { base: 4, width: 5, len: 8 })
+        );
+        assert_eq!(
+            b.try_set_field(6, 4, 0xF),
+            Err(BitstreamError::FieldOutOfRange { base: 6, width: 4, len: 8 })
+        );
+        // A failed field write must not partially program the bitstream.
+        assert_eq!(b.used_count(), 0);
+        assert!(b.as_bools().iter().all(|&v| !v));
+        // Overflow-proof: base + width wrapping must not sneak past the check.
+        assert!(b.try_field(usize::MAX, 2).is_err());
+        // In-range accesses still work through the fallible API.
+        assert_eq!(b.try_set_field(2, 3, 0b110), Ok(()));
+        assert_eq!(b.try_field(2, 3), Ok(0b110));
+        assert_eq!(b.try_bit(3), Ok(true));
+    }
+
+    #[test]
+    fn panic_messages_are_typed() {
+        let err = BitstreamError::OutOfRange { index: 12, len: 8 };
+        assert_eq!(err.to_string(), "bit 12 out of range for a 8-bit bitstream");
+        let caught = std::panic::catch_unwind(|| Bitstream::zeros(4).bit(7));
+        let msg = *caught.unwrap_err().downcast::<String>().expect("string payload");
+        assert!(msg.contains("out of range"), "panic should carry the typed message: {msg}");
     }
 
     #[test]

@@ -165,7 +165,7 @@ impl Fabric {
 
 /// Hex encoding (LSB-first nibbles, same convention as
 /// [`Bitstream::to_hex`]) of an arbitrary bool slice.
-fn bools_to_hex(bits: &[bool]) -> String {
+pub(crate) fn bools_to_hex(bits: &[bool]) -> String {
     let mut s = String::with_capacity(bits.len().div_ceil(4));
     for chunk in bits.chunks(4) {
         let mut v = 0u8;
@@ -179,7 +179,7 @@ fn bools_to_hex(bits: &[bool]) -> String {
     s
 }
 
-fn hex_to_bools(hex: &str, len: usize) -> Result<Vec<bool>, String> {
+pub(crate) fn hex_to_bools(hex: &str, len: usize) -> Result<Vec<bool>, String> {
     if hex.len() != len.div_ceil(4) {
         return Err(format!(
             "hex string has {} nibbles, expected {} for {len} bits",

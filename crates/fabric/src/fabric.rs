@@ -457,6 +457,38 @@ impl Fabric {
     }
 
     // ------------------------------------------------------------------
+    // Frame addressing
+    // ------------------------------------------------------------------
+
+    /// The frame address space of this fabric (see [`crate::frame`]).
+    pub fn frame_geometry(&self) -> crate::frame::FrameGeometry {
+        crate::frame::FrameGeometry::of(self)
+    }
+
+    /// Reads one configuration frame back through the ECC/CRC decoder —
+    /// the device-style readback path.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::frame::FrameError::GeometryMismatch`] when `framed` was
+    /// packed for a different fabric, otherwise whatever
+    /// [`crate::frame::FramedBitstream::readback`] reports.
+    pub fn readback_frame(
+        &self,
+        framed: &crate::frame::FramedBitstream,
+        addr: crate::frame::FrameAddress,
+    ) -> Result<crate::frame::FrameReadback, crate::frame::FrameError> {
+        let expected = self.frame_geometry();
+        if *framed.geometry() != expected {
+            return Err(crate::frame::FrameError::GeometryMismatch {
+                expected,
+                got: *framed.geometry(),
+            });
+        }
+        framed.readback(addr)
+    }
+
+    // ------------------------------------------------------------------
     // Topology
     // ------------------------------------------------------------------
 

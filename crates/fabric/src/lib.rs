@@ -13,8 +13,13 @@
 //!   tracks with programmable switch muxes, CLBs (k-LUTs with FF bypass),
 //!   boundary IO, optional chain blocks, and a deterministic configuration
 //!   bit layout,
-//! * [`bitstream`] — the configuration [`Bitstream`] (the *secret* of
+//! * [`bitstream`] — the flat configuration [`Bitstream`] (the *secret* of
 //!   eFPGA redaction) with serialization and utilization accounting,
+//! * [`frame`] — the frame-addressed configuration format
+//!   ([`FramedBitstream`]): a non-contiguous XC9500-style
+//!   [`FrameAddress`] space, per-frame CRC-8 + SECDED Hamming ECC,
+//!   readback, and [`PartialReconfig`] deltas that rewrite only dirty
+//!   frames,
 //! * [`netlist_gen`] — emission of the fabric as a flat
 //!   [`shell_netlist::Netlist`]: with config bits as **key inputs** (the
 //!   locked netlist an attacker reverse-engineers) or bound to a bitstream
@@ -31,14 +36,18 @@ pub mod arch;
 pub mod bitstream;
 pub mod export;
 pub mod fabric;
+pub mod frame;
 pub mod netlist_gen;
 pub mod resources;
 pub mod shrink;
 pub mod techlib;
 
 pub use arch::{ConfigStorage, FabricConfig, FabricStyle};
-pub use bitstream::Bitstream;
+pub use bitstream::{Bitstream, BitstreamError};
 pub use fabric::{BitInfo, Fabric, SignalRef};
+pub use frame::{
+    FrameAddress, FrameError, FrameGeometry, FrameReadback, FramedBitstream, PartialReconfig,
+};
 pub use netlist_gen::{to_configured_netlist, to_locked_netlist, IoMap};
 pub use resources::{FabricUsage, ResourceReport};
 pub use shrink::{bind_keys, shrink_locked_netlist};

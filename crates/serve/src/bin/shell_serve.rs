@@ -6,6 +6,7 @@
 //! shell_serve status --addr HOST:PORT --id N
 //! shell_serve result --addr HOST:PORT --id N [--wait-ms MS]
 //! shell_serve cancel --addr HOST:PORT --id N
+//! shell_serve delta  --addr HOST:PORT BASE_REQUEST_JSON TARGET_REQUEST_JSON
 //! shell_serve stats  --addr HOST:PORT
 //! shell_serve shutdown --addr HOST:PORT
 //! ```
@@ -148,6 +149,25 @@ fn cmd_result(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_delta(args: &Args) -> Result<(), String> {
+    let parse = |index: usize, what: &str| -> Result<JobRequest, String> {
+        let text = args
+            .positional
+            .get(index)
+            .ok_or_else(|| format!("delta needs {what} as a JSON argument"))?;
+        JobRequest::from_json(
+            &Json::parse(text).map_err(|e| format!("{what} is not valid JSON: {e}"))?,
+        )
+    };
+    let base = parse(1, "BASE_REQUEST_JSON")?;
+    let target = parse(2, "TARGET_REQUEST_JSON")?;
+    let doc = connect(args)?
+        .delta(&base, &target)
+        .map_err(|e| e.to_string())?;
+    println!("{}", doc.to_string_compact());
+    Ok(())
+}
+
 fn print_doc(doc: Json) -> Result<(), String> {
     println!("{}", doc.to_string_compact());
     Ok(())
@@ -168,12 +188,13 @@ fn run() -> Result<(), String> {
             let id = args.id()?;
             print_doc(connect(&args)?.cancel(id).map_err(|e| e.to_string())?)
         }
+        Some("delta") => cmd_delta(&args),
         Some("stats") => print_doc(connect(&args)?.stats().map_err(|e| e.to_string())?),
         Some("ping") => connect(&args)?.ping().map_err(|e| e.to_string()),
         Some("shutdown") => connect(&args)?.shutdown().map_err(|e| e.to_string()),
         Some(other) => Err(format!("unknown subcommand `{other}`")),
         None => Err(
-            "usage: shell_serve <serve|submit|status|result|cancel|stats|ping|shutdown> ..."
+            "usage: shell_serve <serve|submit|status|result|cancel|delta|stats|ping|shutdown> ..."
                 .to_string(),
         ),
     }

@@ -40,7 +40,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// that can alter an artifact for an unchanged request (solver heuristics,
 /// PnR cost functions, report schemas, …) — stale entries then miss by
 /// construction because the version is part of the key path.
-pub const FLOW_VERSION: u32 = 7;
+pub const FLOW_VERSION: u32 = 8;
 
 /// A content-addressed, self-verifying, atomically-published artifact
 /// store. Thread-safe: all mutation is file-level (atomic rename) and the

@@ -137,6 +137,22 @@ impl Client {
         ]))
     }
 
+    /// Requests the partial-reconfiguration delta between two cached lock
+    /// artifacts (both must have been submitted and finished before). The
+    /// response carries the `shell-reconfig` document under `delta` plus
+    /// `frames_total` / `frames_written` / `frames_skipped`.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, non-lock requests, and not-yet-cached artifacts.
+    pub fn delta(&mut self, base: &JobRequest, target: &JobRequest) -> io::Result<Json> {
+        self.request(&Json::obj([
+            ("cmd", Json::from("delta")),
+            ("base", base.to_json()),
+            ("target", target.to_json()),
+        ]))
+    }
+
     /// Fetches server statistics (queue depth, job counts, cache
     /// hit/miss/corrupt counters).
     ///

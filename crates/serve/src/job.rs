@@ -77,7 +77,9 @@ pub fn run_lock(job: &ResolvedJob, budget: &Budget) -> Result<JobOutput, String>
         ("utilization", Json::from(outcome.utilization)),
         ("shrunk", Json::from(outcome.shrunk)),
         ("partition_cells", Json::from(outcome.partition_cells)),
-        ("bitstream", outcome.bitstream.to_json()),
+        // The frame-addressed envelope is the canonical artifact since
+        // flow version 8; the flat v1 view regenerates via `to_flat`.
+        ("bitstream", outcome.framed.to_json()),
         ("locked_verilog", Json::from(write_verilog(&outcome.locked))),
         (
             "degraded",

@@ -635,6 +635,7 @@ impl Inner {
             "status" => self.cmd_status(request),
             "result" => self.cmd_result(request),
             "cancel" => self.cmd_cancel(request),
+            "delta" => self.cmd_delta(request),
             "stats" => self.cmd_stats(),
             "purge_cache" => match self.cache.purge() {
                 Ok(()) => ok_json([("purged", Json::from(true))]),
@@ -708,6 +709,54 @@ impl Inner {
             ("status", Json::from(JobStatus::Queued.label())),
             ("cached", Json::from(false)),
             ("key", Json::from(resolved.key.as_hex().to_string())),
+        ])
+    }
+
+    /// Partial-reconfiguration delta between two *cached* lock artifacts:
+    /// the frame-level rewrite turning `base`'s configuration into
+    /// `target`'s. Pure cache arithmetic — nothing is queued; requests
+    /// whose artifacts are not cached yet are refused (submit the lock
+    /// jobs first).
+    fn cmd_delta(&self, request: &Json) -> Json {
+        let cached_frames = |field: &str| -> Result<shell_fabric::FramedBitstream, String> {
+            let req_json = request
+                .get(field)
+                .ok_or_else(|| format!("delta needs a `{field}` lock request"))?;
+            let parsed = JobRequest::from_json(req_json)?;
+            if parsed.kind != JobKind::Lock {
+                return Err(format!("`{field}` must be a lock request"));
+            }
+            let resolved = parsed.resolve()?;
+            let payload = self.cache.lookup(&resolved.key).ok_or_else(|| {
+                format!("`{field}` artifact is not cached; submit the lock job first")
+            })?;
+            let framed_json = payload
+                .get("bitstream")
+                .ok_or_else(|| format!("`{field}` artifact carries no bitstream"))?;
+            shell_fabric::FramedBitstream::from_json(framed_json)
+                .map_err(|e| format!("`{field}` artifact bitstream: {e}"))
+        };
+        let base = match cached_frames("base") {
+            Ok(b) => b,
+            Err(e) => return err_json(&e),
+        };
+        let target = match cached_frames("target") {
+            Ok(b) => b,
+            Err(e) => return err_json(&e),
+        };
+        let delta = match shell_fabric::PartialReconfig::diff(&base, &target) {
+            Ok(d) => d,
+            Err(e) => return err_json(&format!("delta failed: {e}")),
+        };
+        shell_trace::counter_add("serve.deltas", 1);
+        ok_json([
+            ("delta", delta.to_json()),
+            ("frames_total", Json::from(base.frame_count())),
+            ("frames_written", Json::from(delta.frames_written())),
+            (
+                "frames_skipped",
+                Json::from(base.frame_count() - delta.frames_written()),
+            ),
         ])
     }
 

@@ -9,12 +9,19 @@
 //! fault as detected, masked (with the equivalence proof as witness), or —
 //! the failure modes — undetected or panicked.
 //!
+//! Since the addressed bitstream landed, the campaign also tampers with
+//! the *frame codewords* themselves (single/double flips and stuck-ats on
+//! payload, CRC or ECC bits): singles must come back
+//! [`FaultOutcome::Corrected`] with the SECDED witness, doubles must be
+//! refused by the decoder, and an accepted double counts as undetected.
+//!
 //! The campaign is deterministic: the fault list is derived sequentially
 //! from the seed before any parallel work, and the faults are evaluated
 //! with [`shell_exec::parallel_map`] (index-ordered results), so the report
 //! is byte-identical at every `SHELL_JOBS` setting.
 
-use shell_fabric::{to_configured_netlist, Bitstream, Fabric, IoMap};
+use shell_fabric::frame::{decode_frame, FRAME_TOTAL_BITS};
+use shell_fabric::{to_configured_netlist, Bitstream, Fabric, FramedBitstream, IoMap};
 use shell_netlist::equiv::{equiv_exhaustive, equiv_random, EquivResult};
 use shell_netlist::Netlist;
 use shell_util::{Json, Rng};
@@ -40,6 +47,17 @@ pub enum FaultKind {
     /// Invert the i-th *used* bit — key material after shrinking, so this
     /// models a wrong-key bit rather than random config corruption.
     KeyFlip,
+    /// Flip one bit of a frame *codeword* (payload, CRC or ECC bit — a
+    /// single-event upset on the addressed artifact). SECDED must correct
+    /// it.
+    FrameFlip,
+    /// Flip two distinct bits of the same frame codeword. SECDED must
+    /// refuse to decode it.
+    FrameDouble,
+    /// Force one frame codeword bit to 0.
+    FrameStuck0,
+    /// Force one frame codeword bit to 1.
+    FrameStuck1,
 }
 
 impl FaultKind {
@@ -49,7 +67,24 @@ impl FaultKind {
             FaultKind::StuckAt0 => "stuck_at_0",
             FaultKind::StuckAt1 => "stuck_at_1",
             FaultKind::KeyFlip => "key_flip",
+            FaultKind::FrameFlip => "frame_flip",
+            FaultKind::FrameDouble => "frame_double",
+            FaultKind::FrameStuck0 => "frame_stuck_0",
+            FaultKind::FrameStuck1 => "frame_stuck_1",
         }
+    }
+
+    /// Whether the fault targets the frame-codeword space (`bit` indexes
+    /// `frame_count * FRAME_TOTAL_BITS` positions) rather than the flat
+    /// configuration bits.
+    pub fn is_frame(self) -> bool {
+        matches!(
+            self,
+            FaultKind::FrameFlip
+                | FaultKind::FrameDouble
+                | FaultKind::FrameStuck0
+                | FaultKind::FrameStuck1
+        )
     }
 }
 
@@ -72,6 +107,10 @@ pub enum FaultOutcome {
     /// check was a proof: the write was a no-op, the bit is unused, or
     /// exhaustive equivalence held (a genuine don't-care).
     Masked,
+    /// SECDED repaired the upset at readback: the decoded payload equals
+    /// the pristine frame, with the correction position as witness. Only
+    /// frame faults can earn this verdict.
+    Corrected,
     /// Equivalence was only sampled (wide design) and no mismatch surfaced
     /// on a used, actually-changed bit — possibly a missed corruption, so
     /// it counts against the campaign.
@@ -86,6 +125,7 @@ impl FaultOutcome {
         match self {
             FaultOutcome::Detected => "detected",
             FaultOutcome::Masked => "masked",
+            FaultOutcome::Corrected => "corrected",
             FaultOutcome::Undetected => "undetected",
             FaultOutcome::Panicked => "panicked",
         }
@@ -120,8 +160,8 @@ impl FaultCampaignReport {
         self.records.iter().filter(|r| r.outcome == outcome).count()
     }
 
-    /// `true` when every fault was detected or masked-with-proof and
-    /// nothing panicked — the campaign's pass condition.
+    /// `true` when every fault was detected, masked-with-proof or
+    /// ECC-corrected and nothing panicked — the campaign's pass condition.
     pub fn all_accounted_for(&self) -> bool {
         self.count(FaultOutcome::Undetected) == 0 && self.count(FaultOutcome::Panicked) == 0
     }
@@ -146,6 +186,7 @@ impl FaultCampaignReport {
             ("faults", Json::from(self.records.len())),
             ("detected", Json::from(self.count(FaultOutcome::Detected))),
             ("masked", Json::from(self.count(FaultOutcome::Masked))),
+            ("corrected", Json::from(self.count(FaultOutcome::Corrected))),
             ("undetected", Json::from(self.count(FaultOutcome::Undetected))),
             ("panics", Json::from(self.count(FaultOutcome::Panicked))),
             ("records", Json::Arr(records)),
@@ -155,22 +196,32 @@ impl FaultCampaignReport {
 
 /// Derives the seeded fault list. Sequential on purpose: the list must not
 /// depend on how the campaign is later scheduled.
-fn fault_list(bitstream: &Bitstream, faults: usize, seed: u64) -> Vec<Fault> {
+///
+/// `code_space` is the frame-codeword bit space
+/// (`frame_count * FRAME_TOTAL_BITS`); frame faults index into it, flat
+/// faults into the bitstream.
+fn fault_list(bitstream: &Bitstream, code_space: usize, faults: usize, seed: u64) -> Vec<Fault> {
     let used_bits: Vec<usize> = (0..bitstream.len())
         .filter(|&i| bitstream.is_used(i))
         .collect();
     let mut rng = Rng::seed_from_u64(seed);
     (0..faults)
         .map(|_| {
-            let kind = match rng.bounded(4) {
+            let kind = match rng.bounded(8) {
                 0 => FaultKind::BitFlip,
                 1 => FaultKind::StuckAt0,
                 2 => FaultKind::StuckAt1,
-                _ if !used_bits.is_empty() => FaultKind::KeyFlip,
-                _ => FaultKind::BitFlip,
+                3 if !used_bits.is_empty() => FaultKind::KeyFlip,
+                3 => FaultKind::BitFlip,
+                4 => FaultKind::FrameFlip,
+                5 => FaultKind::FrameDouble,
+                6 => FaultKind::FrameStuck0,
+                _ => FaultKind::FrameStuck1,
             };
             let bit = if kind == FaultKind::KeyFlip {
                 used_bits[rng.bounded(used_bits.len() as u64) as usize]
+            } else if kind.is_frame() {
+                rng.bounded(code_space.max(1) as u64) as usize
             } else {
                 rng.bounded(bitstream.len().max(1) as u64) as usize
             };
@@ -187,6 +238,7 @@ fn apply(bits: &mut Bitstream, fault: Fault) -> bool {
         FaultKind::BitFlip | FaultKind::KeyFlip => !old,
         FaultKind::StuckAt0 => false,
         FaultKind::StuckAt1 => true,
+        _ => unreachable!("frame fault routed to the flat-bit path"),
     };
     bits.set(fault.bit, new);
     new != old
@@ -208,11 +260,27 @@ pub fn fault_campaign(
     seed: u64,
 ) -> FaultCampaignReport {
     let _span = shell_trace::span!("verify.fault_campaign");
-    let list = fault_list(bitstream, faults, seed);
+    let framed =
+        FramedBitstream::from_flat(fabric, bitstream).expect("PnR bitstream packs into frames");
+    let geometry = *framed.geometry();
+    let code_space = geometry.frame_count() * FRAME_TOTAL_BITS;
+    let list = fault_list(bitstream, code_space, faults, seed);
     let records = shell_exec::parallel_map(&list, |&fault| {
-        let used = bitstream.is_used(fault.bit);
+        let used = if fault.kind.is_frame() {
+            // A frame fault touches 32 flat bits at once: report whether
+            // any of them is load-bearing.
+            let addr = geometry.address_at(fault.bit / FRAME_TOTAL_BITS);
+            let (start, end) = geometry.bit_range(addr).expect("valid address");
+            (start..end).any(|i| bitstream.is_used(i))
+        } else {
+            bitstream.is_used(fault.bit)
+        };
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            classify(reference, fabric, bitstream, io_map, fault)
+            if fault.kind.is_frame() {
+                classify_frame(&framed, fault)
+            } else {
+                classify(reference, fabric, bitstream, io_map, fault)
+            }
         }))
         .unwrap_or(FaultOutcome::Panicked);
         FaultRecord {
@@ -277,6 +345,54 @@ fn classify(
     }
 }
 
+/// Classifies a frame-codeword tamper against the SECDED contract:
+///
+/// * single flips (and effective stuck-ats) must decode to the pristine
+///   payload with a correction witness → [`FaultOutcome::Corrected`];
+/// * double flips must be refused by the decoder →
+///   [`FaultOutcome::Detected`]; a decoder that *accepts* one is the
+///   campaign failure → [`FaultOutcome::Undetected`];
+/// * a stuck-at forcing a bit to the value it already holds is
+///   [`FaultOutcome::Masked`] by construction.
+fn classify_frame(framed: &FramedBitstream, fault: Fault) -> FaultOutcome {
+    let geometry = framed.geometry();
+    let frame = fault.bit / FRAME_TOTAL_BITS;
+    let bit = (fault.bit % FRAME_TOTAL_BITS) as u32;
+    let addr = geometry.address_at(frame);
+    let code = framed.frame_code(addr).expect("valid address");
+    let pristine = match decode_frame(code, frame) {
+        Ok(rb) => rb,
+        // A pristine frame that does not decode would be a packing bug;
+        // it is still *caught*, so it cannot count as silent.
+        Err(_) => return FaultOutcome::Detected,
+    };
+    let tampered = match fault.kind {
+        FaultKind::FrameFlip => code ^ (1u64 << bit),
+        FaultKind::FrameDouble => {
+            // Deterministic second position, never equal to the first.
+            let delta = 1 + (bit as usize % (FRAME_TOTAL_BITS - 1)) as u32;
+            let second = (bit + delta) % FRAME_TOTAL_BITS as u32;
+            code ^ (1u64 << bit) ^ (1u64 << second)
+        }
+        FaultKind::FrameStuck0 | FaultKind::FrameStuck1 => {
+            let forced = fault.kind == FaultKind::FrameStuck1;
+            if (code >> bit) & 1 == u64::from(forced) {
+                return FaultOutcome::Masked;
+            }
+            code ^ (1u64 << bit)
+        }
+        _ => unreachable!("flat fault routed to classify_frame"),
+    };
+    match decode_frame(tampered, frame) {
+        // SECDED says a double upset must never decode: acceptance is the
+        // silent failure the campaign exists to catch.
+        Ok(_) if fault.kind == FaultKind::FrameDouble => FaultOutcome::Undetected,
+        Ok(rb) if rb.corrected.is_some() && rb.data == pristine.data => FaultOutcome::Corrected,
+        Ok(_) => FaultOutcome::Undetected,
+        Err(_) => FaultOutcome::Detected,
+    }
+}
+
 /// Per-fault sampling seed: decorrelates the Monte-Carlo vectors of
 /// different faults without global state.
 fn seed_of(fault: Fault) -> u64 {
@@ -334,6 +450,75 @@ mod tests {
                 .to_string_pretty()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn frame_faults_honor_the_secded_contract() {
+        let (_, pnr) = small_pnr();
+        let framed = FramedBitstream::from_flat(&pnr.fabric, &pnr.bitstream).expect("packs");
+        let code_space = framed.geometry().frame_count() * FRAME_TOTAL_BITS;
+        // Every single flip anywhere in the codeword space is corrected.
+        for bit in [0usize, 1, 46, 47, code_space - 1] {
+            assert_eq!(
+                classify_frame(&framed, Fault { kind: FaultKind::FrameFlip, bit }),
+                FaultOutcome::Corrected,
+                "bit {bit}"
+            );
+        }
+        // Every double flip is detected, never silently accepted.
+        for bit in [0usize, 13, 46, code_space / 2, code_space - 1] {
+            assert_eq!(
+                classify_frame(&framed, Fault { kind: FaultKind::FrameDouble, bit }),
+                FaultOutcome::Detected,
+                "bit {bit}"
+            );
+        }
+        // A stuck-at matching the stored bit is masked; the opposite
+        // polarity behaves like a flip and gets corrected.
+        let addr = framed.geometry().address_at(0);
+        let held = framed.code_bit(addr, 3).unwrap();
+        let (same, other) = if held {
+            (FaultKind::FrameStuck1, FaultKind::FrameStuck0)
+        } else {
+            (FaultKind::FrameStuck0, FaultKind::FrameStuck1)
+        };
+        assert_eq!(
+            classify_frame(&framed, Fault { kind: same, bit: 3 }),
+            FaultOutcome::Masked
+        );
+        assert_eq!(
+            classify_frame(&framed, Fault { kind: other, bit: 3 }),
+            FaultOutcome::Corrected
+        );
+    }
+
+    #[test]
+    fn campaign_mixes_in_frame_faults() {
+        let (mapped, pnr) = small_pnr();
+        let report = fault_campaign(
+            &mapped,
+            &pnr.fabric,
+            &pnr.bitstream,
+            &pnr.io_map,
+            96,
+            0xF4A3E,
+        );
+        assert!(report.all_accounted_for());
+        let frame_faults = report
+            .records
+            .iter()
+            .filter(|r| r.fault.kind.is_frame())
+            .count();
+        assert!(frame_faults > 0, "the mix must include frame tampers");
+        assert!(
+            report.count(FaultOutcome::Corrected) > 0,
+            "single-bit upsets must be ECC-corrected"
+        );
+        let json = report.to_json();
+        assert_eq!(
+            json.get("corrected").and_then(Json::as_usize),
+            Some(report.count(FaultOutcome::Corrected))
+        );
     }
 
     #[test]

@@ -142,6 +142,25 @@ cmp results/FAULT_smoke_j1.json results/FAULT_smoke_j4.json || {
 rm -f results/FAULT_smoke_j1.json results/FAULT_smoke_j4.json
 echo "ok"
 
+# Bitstream smoke: the frame-addressed format must not drift from its
+# golden fixtures, and the bench must prove the SECDED contract (single
+# upsets corrected on readback, doubles detected) plus the partial-reconfig
+# win: a 1-frame-dirty delta writes strictly fewer frames than a full
+# write, confirmed by the bitstream.frames_skipped counter and a byte
+# compare of the reconfigured device against the full-write target.
+echo "== bitstream smoke: golden drift, tamper readback, partial reconfig =="
+cargo test -q --release --offline -p xtests --test bitstream_golden
+cargo run -q --release --offline --bin bench_bitstream >/dev/null
+for verdict in roundtrip_ok tamper_corrected double_detected \
+               partial_strictly_fewer frames_skipped_confirmed; do
+    grep -q "\"$verdict\": true" results/BENCH_bitstream.json || {
+        echo "bench_bitstream verdict failed: $verdict" >&2
+        grep "\"$verdict\"" results/BENCH_bitstream.json >&2
+        exit 1
+    }
+done
+echo "ok"
+
 # Incremental-SAT smoke: the attack bench runs both DIP-loop modes on a
 # table-1-style circuit and self-checks two invariants — the persistent
 # solver recovers the same (unique) key as the from-scratch baseline, and

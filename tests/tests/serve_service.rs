@@ -2,6 +2,7 @@
 //! content-addressed artifact cache (hits, corruption, key sensitivity),
 //! cooperative cancellation, and crash-resume of in-flight attack jobs.
 
+use shell_fabric::{FramedBitstream, PartialReconfig};
 use shell_serve::{CircuitSpec, Client, JobKind, JobRequest, Server, ServerConfig};
 use shell_util::Json;
 use std::path::PathBuf;
@@ -258,6 +259,111 @@ fn crashed_server_resumes_attack_with_identical_report() {
         reference, resumed,
         "resumed report must be byte-identical to the uninterrupted run"
     );
+}
+
+/// A single flipped frame codeword inside a cached lock artifact must fail
+/// envelope verification, evict the entry, and recompute — damaged
+/// configuration bytes are never served.
+#[test]
+fn corrupted_frame_in_cached_artifact_is_evicted_and_recomputed() {
+    let dir = state_dir("frame_corrupt");
+    let (server, mut client) = start(&dir);
+
+    let request = JobRequest { seed: 31, ..JobRequest::default() };
+    let first = client.submit(&request).expect("submit");
+    let reference = finished_payload(&mut client, first.id).to_string_compact();
+
+    // Tamper with one frame codeword hex digit inside the stored envelope.
+    let key = shell_serve::ContentHash::from_hex(&first.key).expect("key parses");
+    let path = server.cache().path_for(&key);
+    let text = std::fs::read_to_string(&path).expect("artifact on disk");
+    let at = text.find("\"code\": \"").expect("envelope holds frame codewords")
+        + "\"code\": \"".len();
+    let mut bytes = text.into_bytes();
+    bytes[at] = if bytes[at] == b'0' { b'1' } else { b'0' };
+    std::fs::write(&path, bytes).expect("tamper");
+
+    let second = client.submit(&request).expect("submit");
+    assert!(!second.cached, "frame-tampered entry must read as a miss");
+    let recomputed = finished_payload(&mut client, second.id).to_string_compact();
+    assert_eq!(reference, recomputed, "recomputation must reproduce the artifact");
+    assert!(server.cache().corrupt() >= 1, "frame tamper must count as corruption");
+    assert!(!client.submit(&request).expect("submit").cached || server.cache().hits() >= 1);
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The partial-reconfiguration path over the wire: the server diffs two
+/// cached lock artifacts into a `shell-reconfig` delta that, applied to the
+/// base configuration, reproduces the target exactly — and the delta's
+/// frame accounting is consistent.
+#[test]
+fn partial_reconfig_delta_round_trips_over_the_wire() {
+    let dir = state_dir("delta");
+    let (server, mut client) = start(&dir);
+
+    let base_req = JobRequest { seed: 41, ..JobRequest::default() };
+    let target_req = JobRequest { seed: 42, ..JobRequest::default() };
+
+    // The delta endpoint only serves cached artifacts: asking before the
+    // jobs ran is a typed error, and the connection survives it.
+    let err = client
+        .delta(&base_req, &target_req)
+        .expect_err("uncached artifacts must be refused");
+    assert!(err.to_string().contains("not cached"), "{err}");
+    client.ping().expect("connection survives a refused delta");
+
+    let base_id = client.submit(&base_req).expect("submit").id;
+    let target_id = client.submit(&target_req).expect("submit").id;
+    let base_frames = FramedBitstream::from_json(
+        finished_payload(&mut client, base_id).get("bitstream").expect("bitstream"),
+    )
+    .expect("base frames parse");
+    let target_frames = FramedBitstream::from_json(
+        finished_payload(&mut client, target_id).get("bitstream").expect("bitstream"),
+    )
+    .expect("target frames parse");
+
+    let answer = client.delta(&base_req, &target_req).expect("delta");
+    let delta = PartialReconfig::from_json(answer.get("delta").expect("delta document"))
+        .expect("delta parses");
+    let total = answer.get("frames_total").and_then(Json::as_u64).unwrap();
+    let written = answer.get("frames_written").and_then(Json::as_u64).unwrap();
+    let skipped = answer.get("frames_skipped").and_then(Json::as_u64).unwrap();
+    assert_eq!(total, base_frames.frame_count() as u64);
+    assert_eq!(written + skipped, total, "every frame is written or skipped");
+    assert_eq!(written, delta.frames_written() as u64);
+    assert!(
+        written < total,
+        "reconfiguring between two placements of the same design must not \
+         rewrite every frame ({written}/{total})"
+    );
+
+    let mut patched = base_frames;
+    delta.apply(&mut patched).expect("delta applies to its base");
+    assert_eq!(
+        patched.to_flat().unwrap().as_bools(),
+        target_frames.to_flat().unwrap().as_bools(),
+        "base + delta must equal the target configuration"
+    );
+
+    // Non-lock requests have no frames to diff.
+    let fuzz = JobRequest {
+        kind: JobKind::Fuzz,
+        circuit: None,
+        samples: 3,
+        seed: 9,
+        ..JobRequest::default()
+    };
+    let fuzz_id = client.submit(&fuzz).expect("submit").id;
+    finished_payload(&mut client, fuzz_id);
+    let err = client
+        .delta(&fuzz, &target_req)
+        .expect_err("non-lock deltas must be refused");
+    assert!(err.to_string().contains("lock"), "{err}");
+    client.ping().expect("connection survives a refused delta");
+    server.stop();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
