@@ -37,8 +37,10 @@ use shell_netlist::{CellKind, NetId, Netlist};
 use shell_sat::{
     encode_miter, encode_miter_gated, encode_netlist, Lit, SatResult, Solver, Var,
 };
+use shell_chaos::Io;
 use shell_util::Json;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default conflict quota — the 48-hour stand-in at laptop scale.
@@ -103,6 +105,10 @@ pub struct SatAttackOptions {
     /// from the recorded prefix; incremental mode replays the prefix solves
     /// first to reconstruct the persistent solver, then continues.
     pub resume_from: Option<AttackCheckpoint>,
+    /// Filesystem seam for checkpoint writes. Production keeps the default
+    /// ([`shell_chaos::real`]); the crash-point matrix swaps in a
+    /// `ChaosIo` so checkpoint commits are enumerable crash steps too.
+    pub checkpoint_io: Arc<dyn Io>,
 }
 
 impl Default for SatAttackOptions {
@@ -115,6 +121,7 @@ impl Default for SatAttackOptions {
             verify_vectors: 512,
             checkpoint_path: None,
             resume_from: None,
+            checkpoint_io: shell_chaos::real(),
         }
     }
 }
@@ -222,18 +229,27 @@ impl AttackCheckpoint {
     }
 
     /// Writes the checkpoint (pretty JSON), creating parent directories.
+    /// Atomic (temp file + fsync + rename): a crash mid-save leaves the
+    /// previous checkpoint intact, never a torn one.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
-        std::fs::write(path, self.to_json().to_string_pretty())
+        self.save_with(&shell_chaos::RealIo, path)
+    }
+
+    /// [`AttackCheckpoint::save`] through an explicit [`Io`] seam, so fault
+    /// injection can enumerate the checkpoint commit's crash points.
+    pub fn save_with(&self, io: &dyn Io, path: &Path) -> std::io::Result<()> {
+        shell_chaos::atomic_write(io, path, self.to_json().to_string_pretty().as_bytes())
     }
 
     /// Loads a checkpoint written by [`AttackCheckpoint::save`].
     pub fn load(path: &Path) -> Result<Self, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::load_with(&shell_chaos::RealIo, path)
+    }
+
+    /// [`AttackCheckpoint::load`] through an explicit [`Io`] seam.
+    pub fn load_with(io: &dyn Io, path: &Path) -> Result<Self, String> {
+        let text = shell_chaos::read_string(io, path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
         Self::from_json(&Json::parse(&text)?)
     }
 }
@@ -655,7 +671,9 @@ fn write_checkpoint(
         conflicts_spent: conflicts,
         dips: dips.to_vec(),
     };
-    cp.save(path).ok().map(|()| path.clone())
+    cp.save_with(&*options.checkpoint_io, path)
+        .ok()
+        .map(|()| path.clone())
 }
 
 /// Appends one IO-pinned copy of `locked` (keys shared with `keys`) for the

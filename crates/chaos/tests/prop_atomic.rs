@@ -1,0 +1,124 @@
+//! Property: for arbitrary seeded crash points during a journaled commit,
+//! the observable state of the target is always the old value or the new
+//! value — never a torn hybrid. Counterexamples shrink via
+//! `shell_util::forall` down to the smallest (seed, crash op, payload)
+//! triple that violates the invariant.
+
+use shell_chaos::{ChaosConfig, ChaosIo, Io, Journal, RealIo};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static UNIQUE: AtomicU64 = AtomicU64::new(0);
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "shell_chaos_prop_{tag}_{}_{}",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::SeqCst)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One experiment: commit `old` cleanly, then commit `new` under a ChaosIo
+/// that crashes at mutating op `crash_at`, recover with real IO, and check
+/// the target holds exactly `old` or exactly `new`.
+fn run_case(seed: u64, crash_at: u64, old: &[u8], new: &[u8]) -> Result<(), String> {
+    let dir = tmp_dir("case");
+    let target = dir.join("state").join("value.bin");
+    let journal_dir = dir.join("journal");
+
+    let calm = Journal::open(shell_chaos::real(), &journal_dir)
+        .map_err(|e| format!("open calm journal: {e}"))?;
+    calm.commit(&target, old)
+        .map_err(|e| format!("baseline commit: {e}"))?;
+
+    let chaos = Arc::new(ChaosIo::new(ChaosConfig::crash_at(seed, crash_at)));
+    let outcome = Journal::open(chaos.clone() as Arc<dyn Io>, &journal_dir)
+        .and_then(|j| j.commit(&target, new));
+
+    // Fresh process: recovery always runs on real IO.
+    let recovered = Journal::open(shell_chaos::real(), &journal_dir)
+        .map_err(|e| format!("reopen journal: {e}"))?;
+    recovered.recover();
+
+    let observed = std::fs::read(&target).map_err(|e| format!("read target: {e}"))?;
+    let verdict = if outcome.is_ok() && observed != new {
+        Err(format!(
+            "commit reported success but target holds {} bytes != new",
+            observed.len()
+        ))
+    } else if observed != old && observed != new {
+        Err(format!(
+            "torn state: {} bytes, neither old ({}) nor new ({})",
+            observed.len(),
+            old.len(),
+            new.len()
+        ))
+    } else if !RealIo
+        .list_dir(&journal_dir)
+        .map_err(|e| format!("list journal: {e}"))?
+        .is_empty()
+    {
+        Err("recovery left litter in the journal directory".into())
+    } else {
+        Ok(())
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    verdict
+}
+
+#[test]
+fn journaled_commit_is_old_or_new_under_arbitrary_crash_points() {
+    // A journaled commit performs a bounded number of mutating ops (mkdir
+    // ×2, intent write+sync, tmp write+sync, rename, intent remove = 8);
+    // sampling crash points a little past that also covers "no crash".
+    shell_util::forall(
+        "journaled_commit_old_or_new",
+        0x5EED_CA05,
+        64,
+        |rng| {
+            let seed = rng.next_u64();
+            let crash_at = rng.bounded(12);
+            let old_len = rng.gen_range(0..48);
+            let new_len = rng.gen_range(1..48);
+            let old: Vec<u8> = (0..old_len).map(|_| rng.bounded(256) as u8).collect();
+            let new: Vec<u8> = (0..new_len).map(|_| rng.bounded(256) as u8).collect();
+            (seed, crash_at, old, new)
+        },
+        |(seed, crash_at, old, new)| run_case(*seed, *crash_at, old, new),
+    );
+}
+
+#[test]
+fn atomic_write_is_old_or_new_under_arbitrary_crash_points() {
+    shell_util::forall(
+        "atomic_write_old_or_new",
+        0xA70_0717,
+        64,
+        |rng| (rng.next_u64(), rng.bounded(6)),
+        |&(seed, crash_at)| {
+            let dir = tmp_dir("aw");
+            let target = dir.join("value.bin");
+            let old = b"old-value".to_vec();
+            let new = b"replacement-value".to_vec();
+            shell_chaos::atomic_write(&RealIo, &target, &old)
+                .map_err(|e| format!("baseline: {e}"))?;
+            let chaos = ChaosIo::new(ChaosConfig::crash_at(seed, crash_at));
+            let outcome = shell_chaos::atomic_write(&chaos, &target, &new);
+            shell_chaos::sweep_tmp(&RealIo, &dir);
+            let observed = std::fs::read(&target).map_err(|e| format!("read: {e}"))?;
+            let verdict = if outcome.is_ok() && observed != new {
+                Err("success but target is not the new value".into())
+            } else if observed != old && observed != new {
+                Err(format!("torn target: {} bytes", observed.len()))
+            } else {
+                Ok(())
+            };
+            let _ = std::fs::remove_dir_all(&dir);
+            verdict
+        },
+    );
+}

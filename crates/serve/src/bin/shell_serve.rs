@@ -8,6 +8,7 @@
 //! shell_serve cancel --addr HOST:PORT --id N
 //! shell_serve delta  --addr HOST:PORT BASE_REQUEST_JSON TARGET_REQUEST_JSON
 //! shell_serve stats  --addr HOST:PORT
+//! shell_serve drain  --addr HOST:PORT
 //! shell_serve shutdown --addr HOST:PORT
 //! ```
 //!
@@ -71,12 +72,22 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let state_dir = args.required("state-dir")?;
     let config = ServerConfig {
         addr: args.flag("addr").unwrap_or("127.0.0.1:0").to_string(),
-        state_dir: state_dir.into(),
         workers: args
             .flag("workers")
             .map(|w| w.parse().map_err(|_| "--workers must be a number"))
             .transpose()?
             .unwrap_or(0),
+        max_queue: args
+            .flag("max-queue")
+            .map(|w| w.parse().map_err(|_| "--max-queue must be a number"))
+            .transpose()?
+            .unwrap_or(0),
+        read_deadline_ms: args
+            .flag("read-deadline-ms")
+            .map(|w| w.parse().map_err(|_| "--read-deadline-ms must be a number"))
+            .transpose()?
+            .unwrap_or(0),
+        ..ServerConfig::ephemeral(state_dir)
     };
     let server = Server::start(config).map_err(|e| format!("cannot start: {e}"))?;
     let addr = server.local_addr();
@@ -191,10 +202,11 @@ fn run() -> Result<(), String> {
         Some("delta") => cmd_delta(&args),
         Some("stats") => print_doc(connect(&args)?.stats().map_err(|e| e.to_string())?),
         Some("ping") => connect(&args)?.ping().map_err(|e| e.to_string()),
+        Some("drain") => print_doc(connect(&args)?.drain().map_err(|e| e.to_string())?),
         Some("shutdown") => connect(&args)?.shutdown().map_err(|e| e.to_string()),
         Some(other) => Err(format!("unknown subcommand `{other}`")),
         None => Err(
-            "usage: shell_serve <serve|submit|status|result|cancel|delta|stats|ping|shutdown> ..."
+            "usage: shell_serve <serve|submit|status|result|cancel|delta|stats|ping|drain|shutdown> ..."
                 .to_string(),
         ),
     }

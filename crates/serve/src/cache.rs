@@ -32,9 +32,11 @@
 //!   write and a crash mid-store leaves no half-entry behind.
 
 use crate::hash::ContentHash;
+use shell_chaos::{Io, Journal};
 use shell_util::Json;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Version of the flow whose outputs the cache stores. Bump on any change
 /// that can alter an artifact for an unchanged request (solver heuristics,
@@ -44,24 +46,42 @@ pub const FLOW_VERSION: u32 = 8;
 
 /// A content-addressed, self-verifying, atomically-published artifact
 /// store. Thread-safe: all mutation is file-level (atomic rename) and the
-/// statistics are atomics.
+/// statistics are atomics. All filesystem access goes through an [`Io`]
+/// seam so fault injection can enumerate every commit step.
 pub struct ArtifactCache {
     root: PathBuf,
+    io: Arc<dyn Io>,
+    /// Journaled stores (write-ahead intent; see [`shell_chaos::Journal`]).
+    /// On by default; `bench_chaos` turns it off to measure the overhead.
+    journaled: bool,
     hits: AtomicU64,
     misses: AtomicU64,
     corrupt: AtomicU64,
+    evicted_startup: AtomicU64,
 }
 
 impl ArtifactCache {
     /// Opens (lazily — no I/O happens until a store) a cache rooted at
-    /// `root`.
+    /// `root`, on the real filesystem with journaled stores.
     pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self::with_io(root, shell_chaos::real(), true)
+    }
+
+    /// Opens a cache with an explicit [`Io`] seam and journaling choice.
+    pub fn with_io(root: impl Into<PathBuf>, io: Arc<dyn Io>, journaled: bool) -> Self {
         ArtifactCache {
             root: root.into(),
+            io,
+            journaled,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
+            evicted_startup: AtomicU64::new(0),
         }
+    }
+
+    fn journal(&self) -> std::io::Result<Journal> {
+        Journal::open(self.io.clone(), self.root.join("journal"))
     }
 
     /// The on-disk path an artifact for `key` lives at (whether or not it
@@ -81,7 +101,7 @@ impl ArtifactCache {
     /// trace counters.
     pub fn lookup(&self, key: &ContentHash) -> Option<Json> {
         let path = self.path_for(key);
-        let verified = std::fs::read_to_string(&path)
+        let verified = shell_chaos::read_string(&*self.io, &path)
             .ok()
             .and_then(|text| Self::verify(key, &text));
         match verified {
@@ -91,12 +111,12 @@ impl ArtifactCache {
                 Some(payload)
             }
             None => {
-                if path.exists() {
+                if self.io.exists(&path) {
                     // Present but unverifiable: corrupted artifact. Remove
                     // it; the caller recomputes and re-stores.
                     self.corrupt.fetch_add(1, Ordering::Relaxed);
                     shell_trace::counter_add("cache.corrupt", 1);
-                    let _ = std::fs::remove_file(&path);
+                    let _ = self.io.remove_file(&path);
                 }
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 shell_trace::counter_add("cache.misses", 1);
@@ -130,19 +150,64 @@ impl ArtifactCache {
     /// Propagates filesystem errors.
     pub fn store(&self, key: &ContentHash, payload: &Json) -> std::io::Result<PathBuf> {
         let path = self.path_for(key);
-        let dir = path.parent().expect("cache paths have parents");
-        std::fs::create_dir_all(dir)?;
         let envelope = Json::obj([
             ("flow_version", Json::from(u64::from(FLOW_VERSION))),
             ("key", Json::from(key.as_hex())),
             ("hash", Json::from(ContentHash::of_json(payload).as_hex())),
             ("payload", payload.clone()),
         ]);
-        let tmp = dir.join(format!(".{}.tmp.{}", key.as_hex(), std::process::id()));
-        std::fs::write(&tmp, envelope.to_string_pretty())?;
-        std::fs::rename(&tmp, &path)?;
+        let bytes = envelope.to_string_pretty();
+        if self.journaled {
+            self.journal()?.commit(&path, bytes.as_bytes())?;
+        } else {
+            shell_chaos::atomic_write(&*self.io, &path, bytes.as_bytes())?;
+        }
         shell_trace::counter_add("cache.stores", 1);
         Ok(path)
+    }
+
+    /// Startup integrity scan: recovers the store journal (rolling
+    /// interrupted commits forward or back), sweeps temp litter, then
+    /// verifies every envelope of the current flow version and evicts the
+    /// ones that fail — corruption is discovered *now*, with an
+    /// `cache.evicted_startup` count, instead of lazily per-request.
+    /// Returns the number of entries evicted. Idempotent.
+    pub fn scan_startup(&self) -> usize {
+        if let Ok(journal) = self.journal() {
+            journal.recover();
+        }
+        let version_dir = self.root.join(format!("v{FLOW_VERSION}"));
+        let mut evicted = 0;
+        let Ok(shards) = self.io.list_dir(&version_dir) else {
+            return 0;
+        };
+        for shard in shards {
+            shell_chaos::sweep_tmp(&*self.io, &shard);
+            let Ok(entries) = self.io.list_dir(&shard) else {
+                continue;
+            };
+            for path in entries {
+                let key = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .and_then(|s| ContentHash::from_hex(s).ok());
+                let ok = match &key {
+                    Some(key) => shell_chaos::read_string(&*self.io, &path)
+                        .ok()
+                        .and_then(|text| Self::verify(key, &text))
+                        .is_some(),
+                    // A file that is not `<sha256>.json` cannot be served;
+                    // treat it as litter.
+                    None => false,
+                };
+                if !ok && self.io.remove_file(&path).is_ok() {
+                    evicted += 1;
+                    self.evicted_startup.fetch_add(1, Ordering::Relaxed);
+                    shell_trace::counter_add("cache.evicted_startup", 1);
+                }
+            }
+        }
+        evicted
     }
 
     /// Explicit invalidation of every entry of the *current* flow version.
@@ -177,6 +242,11 @@ impl ArtifactCache {
     /// counted as a miss).
     pub fn corrupt(&self) -> u64 {
         self.corrupt.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by [`ArtifactCache::scan_startup`].
+    pub fn evicted_startup(&self) -> u64 {
+        self.evicted_startup.load(Ordering::Relaxed)
     }
 }
 
@@ -267,6 +337,55 @@ mod tests {
         std::fs::write(&path, text).unwrap();
         assert_eq!(cache.lookup(&key), None, "version mismatch must miss");
         let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn startup_scan_evicts_corrupt_entries_and_keeps_good_ones() {
+        let cache = ArtifactCache::new(tmp_root("scan"));
+        let good = ContentHash::of_bytes(b"good");
+        let bad = ContentHash::of_bytes(b"bad");
+        cache.store(&good, &payload(1)).unwrap();
+        cache.store(&bad, &payload(2)).unwrap();
+        // Corrupt one envelope and drop temp litter plus a misnamed file.
+        let bad_path = cache.path_for(&bad);
+        let text = std::fs::read_to_string(&bad_path).unwrap();
+        std::fs::write(&bad_path, &text[..text.len() / 2]).unwrap();
+        let shard = cache.path_for(&good).parent().unwrap().to_path_buf();
+        std::fs::write(shard.join("stray.tmp"), b"partial").unwrap();
+        std::fs::write(shard.join("not-a-key.json"), b"{}").unwrap();
+        let evicted = cache.scan_startup();
+        assert_eq!(cache.evicted_startup(), evicted as u64);
+        assert!(!bad_path.exists(), "corrupt envelope evicted at startup");
+        assert!(!shard.join("stray.tmp").exists(), "temp litter swept");
+        assert!(!shard.join("not-a-key.json").exists(), "misnamed file evicted");
+        assert_eq!(cache.lookup(&good), Some(payload(1)), "good entry survives");
+        // Second scan finds nothing left to evict.
+        assert_eq!(cache.scan_startup(), 0);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn journaled_store_recovers_from_crash_points() {
+        use shell_chaos::{ChaosConfig, ChaosIo, Io};
+        let root = tmp_root("chaos_store");
+        let key = ContentHash::of_bytes(b"chaos");
+        // Baseline entry via a clean store.
+        ArtifactCache::new(&root).store(&key, &payload(1)).unwrap();
+        for crash_at in 0..10u64 {
+            let chaos = std::sync::Arc::new(ChaosIo::new(ChaosConfig::crash_at(7, crash_at)));
+            let cache =
+                ArtifactCache::with_io(&root, chaos.clone() as std::sync::Arc<dyn Io>, true);
+            let _ = cache.store(&key, &payload(2));
+            // Restart: fresh cache on real IO, startup scan recovers.
+            let recovered = ArtifactCache::new(&root);
+            recovered.scan_startup();
+            let served = recovered.lookup(&key).expect("entry must survive the crash");
+            assert!(
+                served == payload(1) || served == payload(2),
+                "crash at {crash_at} left a hybrid: {served:?}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -163,6 +163,17 @@ impl Client {
         self.request(&Json::obj([("cmd", Json::from("stats"))]))
     }
 
+    /// Asks the server to drain: reject new submits, checkpoint running
+    /// attacks, and shut down once nothing is running. Returns the server's
+    /// acknowledgement (`{"draining": true, "running": N}`).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn drain(&mut self) -> io::Result<Json> {
+        self.request(&Json::obj([("cmd", Json::from("drain"))]))
+    }
+
     /// Asks the server to shut down.
     ///
     /// # Errors

@@ -114,6 +114,7 @@ pub fn run_attack(
     budget: &Budget,
     checkpoint_path: Option<PathBuf>,
     resume: Option<AttackCheckpoint>,
+    checkpoint_io: std::sync::Arc<dyn shell_chaos::Io>,
 ) -> Result<JobOutput, String> {
     let _span = shell_trace::span!("serve.job.attack");
     let oracle = job.netlist.as_ref().ok_or("attack jobs need a circuit")?;
@@ -131,6 +132,7 @@ pub fn run_attack(
         budget: budget.clone(),
         checkpoint_path,
         resume_from: resume,
+        checkpoint_io,
         ..SatAttackOptions::default()
     };
     let report = sat_attack_report(&locked, oracle, &options);
@@ -212,10 +214,11 @@ pub fn run(
     budget: &Budget,
     checkpoint_path: Option<PathBuf>,
     resume: Option<AttackCheckpoint>,
+    checkpoint_io: std::sync::Arc<dyn shell_chaos::Io>,
 ) -> Result<JobOutput, String> {
     match job.request.kind {
         JobKind::Lock => run_lock(job, budget),
-        JobKind::Attack => run_attack(job, budget, checkpoint_path, resume),
+        JobKind::Attack => run_attack(job, budget, checkpoint_path, resume, checkpoint_io),
         JobKind::Verify => run_verify(job, budget),
         JobKind::Fuzz => run_fuzz(job, budget),
     }
@@ -236,8 +239,8 @@ mod tests {
     fn lock_runs_are_deterministic_and_cacheable() {
         shell_verify::install();
         let job = resolved(JobRequest::default());
-        let a = run(&job, &Budget::unlimited(), None, None).unwrap();
-        let b = run(&job, &Budget::unlimited(), None, None).unwrap();
+        let a = run(&job, &Budget::unlimited(), None, None, shell_chaos::real()).unwrap();
+        let b = run(&job, &Budget::unlimited(), None, None, shell_chaos::real()).unwrap();
         assert!(a.cacheable);
         assert_eq!(
             a.payload.to_string_compact(),
@@ -255,7 +258,7 @@ mod tests {
             key_bits: 5,
             ..JobRequest::default()
         });
-        let out = run(&job, &Budget::unlimited(), None, None).unwrap();
+        let out = run(&job, &Budget::unlimited(), None, None, shell_chaos::real()).unwrap();
         assert!(out.cacheable);
         let report = out.payload.get("report").unwrap();
         assert_eq!(report.get("status").and_then(Json::as_str), Some("broken"));
@@ -277,7 +280,7 @@ mod tests {
         });
         let budget = Budget::unlimited();
         budget.cancel();
-        let out = run(&job, &budget, None, None).unwrap();
+        let out = run(&job, &budget, None, None, shell_chaos::real()).unwrap();
         assert!(!out.cacheable, "a cancel-stopped result must not be cached");
     }
 
@@ -288,7 +291,7 @@ mod tests {
             kind: crate::request::JobKind::Verify,
             ..JobRequest::default()
         });
-        let out = run(&job, &Budget::unlimited(), None, None).unwrap();
+        let out = run(&job, &Budget::unlimited(), None, None, shell_chaos::real()).unwrap();
         assert_eq!(
             out.payload.get("verdict").and_then(Json::as_str),
             Some("equivalent")
@@ -305,7 +308,7 @@ mod tests {
             seed: 7,
             ..JobRequest::default()
         });
-        let out = run(&job, &Budget::unlimited(), None, None).unwrap();
+        let out = run(&job, &Budget::unlimited(), None, None, shell_chaos::real()).unwrap();
         let report = out.payload.get("report").unwrap();
         assert_eq!(report.get("samples").and_then(Json::as_u64), Some(4));
     }

@@ -32,6 +32,7 @@ pub mod cache;
 pub mod client;
 pub mod hash;
 pub mod job;
+pub mod matrix;
 pub mod protocol;
 pub mod request;
 pub mod server;
@@ -40,6 +41,9 @@ pub use cache::{ArtifactCache, FLOW_VERSION};
 pub use client::{Client, Submitted};
 pub use hash::{sha256, ContentHash, Sha256};
 pub use job::{run as run_job, JobOutput};
-pub use protocol::{read_frame, write_frame, MAX_FRAME_BYTES};
+pub use matrix::{run_matrix, scan_torn, MatrixOptions, MatrixReport};
+pub use protocol::{read_frame, write_frame, FrameReader, FrameStep, MAX_FRAME_BYTES};
 pub use request::{canonical_netlist_json, CircuitSpec, JobKind, JobRequest, ResolvedJob};
-pub use server::{JobStatus, Server, ServerConfig};
+pub use server::{
+    error_code, JobStatus, Server, ServerConfig, DEFAULT_MAX_QUEUE, DEFAULT_READ_DEADLINE_MS,
+};

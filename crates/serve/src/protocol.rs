@@ -22,6 +22,7 @@
 
 use shell_util::Json;
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 /// Upper bound on a single frame. Generous for inline-Verilog lock
 /// requests (megabytes at most) while bounding what a malicious header can
@@ -90,6 +91,139 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Json>> {
         .map_err(|e| invalid(format!("frame not valid JSON: {e}")))
 }
 
+/// One observation from [`FrameReader::step`].
+#[derive(Debug)]
+pub enum FrameStep {
+    /// A complete frame arrived.
+    Frame(Json),
+    /// Clean EOF at a frame boundary.
+    Eof,
+    /// No new bytes this tick (socket timeout); partial-frame state is
+    /// preserved for the next tick.
+    Idle,
+}
+
+/// Incremental frame reader for the server side of a connection.
+///
+/// The plain [`read_frame`] assumes it can block until a whole frame is
+/// present, which makes a non-blocking server loop lose partial-frame bytes
+/// on every socket timeout — a slow or hostile client (slow-loris) could
+/// corrupt framing or pin a worker forever. `FrameReader` buffers partial
+/// bytes across timeouts and enforces a **per-frame deadline**: the clock
+/// starts at the first byte of a frame, and a frame that is still
+/// incomplete when the deadline lapses fails the connection with a typed
+/// `[stalled]` error. Pipelined bytes beyond a completed frame stay in the
+/// buffer.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// When the current (incomplete) frame's first byte arrived.
+    started_at: Option<Instant>,
+    deadline: Duration,
+}
+
+impl FrameReader {
+    /// A reader whose frames must complete within `deadline` of their first
+    /// byte.
+    pub fn new(deadline: Duration) -> FrameReader {
+        FrameReader {
+            buf: Vec::new(),
+            started_at: None,
+            deadline,
+        }
+    }
+
+    /// Performs at most one socket read and returns what it amounted to.
+    /// Call in a loop; `Idle` means "nothing yet, check shutdown and call
+    /// again".
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, EOF mid-frame ([`io::ErrorKind::UnexpectedEof`]),
+    /// oversized or malformed frames ([`io::ErrorKind::InvalidData`]), and
+    /// the per-frame deadline ([`io::ErrorKind::TimedOut`], message
+    /// prefixed `[stalled]`).
+    pub fn step(&mut self, r: &mut impl Read) -> io::Result<FrameStep> {
+        // A pipelined frame may already be complete in the buffer.
+        if let Some(frame) = self.try_extract()? {
+            return Ok(FrameStep::Frame(frame));
+        }
+        let mut chunk = [0u8; 4096];
+        match r.read(&mut chunk) {
+            Ok(0) => {
+                if self.buf.is_empty() {
+                    Ok(FrameStep::Eof)
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                }
+            }
+            Ok(n) => {
+                if self.buf.is_empty() {
+                    self.started_at = Some(Instant::now());
+                }
+                self.buf.extend_from_slice(&chunk[..n]);
+                match self.try_extract()? {
+                    Some(frame) => Ok(FrameStep::Frame(frame)),
+                    None => self.check_stalled().map(|()| FrameStep::Idle),
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+                ) =>
+            {
+                self.check_stalled().map(|()| FrameStep::Idle)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn check_stalled(&self) -> io::Result<()> {
+        match self.started_at {
+            Some(t0) if !self.buf.is_empty() && t0.elapsed() > self.deadline => {
+                Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "[stalled] frame incomplete after {}ms",
+                        self.deadline.as_millis()
+                    ),
+                ))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Pops one complete frame off the front of the buffer, if present.
+    /// The length cap is checked as soon as the header is readable, before
+    /// any payload accumulates.
+    fn try_extract(&mut self) -> io::Result<Option<Json>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if len > MAX_FRAME_BYTES {
+            return Err(invalid(format!("frame length {len} exceeds the maximum")));
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[4..total].to_vec();
+        self.buf.drain(..total);
+        // Any leftover bytes begin the next frame; restart its clock.
+        self.started_at = (!self.buf.is_empty()).then(Instant::now);
+        let text =
+            String::from_utf8(payload).map_err(|e| invalid(format!("frame not UTF-8: {e}")))?;
+        Json::parse(&text)
+            .map(Some)
+            .map_err(|e| invalid(format!("frame not valid JSON: {e}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +283,118 @@ mod tests {
         let err = read_frame(&mut buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("nesting"), "{err}");
+    }
+
+    /// A reader that yields its script one item per call: `Ok(bytes)`
+    /// delivers bytes, `Err(WouldBlock)` simulates a socket timeout tick.
+    struct Scripted(std::collections::VecDeque<io::Result<Vec<u8>>>);
+
+    impl Read for Scripted {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            match self.0.pop_front() {
+                Some(Ok(bytes)) => {
+                    out[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Some(Err(e)) => Err(e),
+                None => Ok(0), // EOF
+            }
+        }
+    }
+
+    fn scripted(items: Vec<io::Result<Vec<u8>>>) -> Scripted {
+        Scripted(items.into())
+    }
+
+    fn would_block() -> io::Error {
+        io::Error::new(io::ErrorKind::WouldBlock, "tick")
+    }
+
+    #[test]
+    fn frame_reader_survives_timeouts_mid_frame() {
+        let mut full = Vec::new();
+        let msg = Json::obj([("cmd", Json::from("ping"))]);
+        write_frame(&mut full, &msg).unwrap();
+        // Byte dribble: header split across ticks, WouldBlock between every
+        // chunk — the old `continue`-on-timeout loop lost exactly this.
+        let mut r = scripted(vec![
+            Ok(full[..2].to_vec()),
+            Err(would_block()),
+            Ok(full[2..5].to_vec()),
+            Err(would_block()),
+            Ok(full[5..].to_vec()),
+        ]);
+        let mut reader = FrameReader::new(Duration::from_secs(10));
+        let mut got = None;
+        for _ in 0..8 {
+            match reader.step(&mut r).unwrap() {
+                FrameStep::Frame(f) => {
+                    got = Some(f);
+                    break;
+                }
+                FrameStep::Idle => continue,
+                FrameStep::Eof => panic!("EOF before the frame completed"),
+            }
+        }
+        assert_eq!(got, Some(msg));
+        assert!(matches!(reader.step(&mut r).unwrap(), FrameStep::Eof));
+    }
+
+    #[test]
+    fn frame_reader_handles_pipelined_frames() {
+        let mut full = Vec::new();
+        let a = Json::obj([("n", Json::from(1u64))]);
+        let b = Json::obj([("n", Json::from(2u64))]);
+        write_frame(&mut full, &a).unwrap();
+        write_frame(&mut full, &b).unwrap();
+        let mut r = scripted(vec![Ok(full)]);
+        let mut reader = FrameReader::new(Duration::from_secs(10));
+        assert!(matches!(reader.step(&mut r).unwrap(), FrameStep::Frame(f) if f == a));
+        assert!(matches!(reader.step(&mut r).unwrap(), FrameStep::Frame(f) if f == b));
+        assert!(matches!(reader.step(&mut r).unwrap(), FrameStep::Eof));
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_header_before_payload() {
+        let mut bytes = (MAX_FRAME_BYTES + 1).to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"xx");
+        let mut r = scripted(vec![Ok(bytes)]);
+        let mut reader = FrameReader::new(Duration::from_secs(10));
+        let err = reader.step(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn frame_reader_flags_mid_frame_disconnect() {
+        let mut full = Vec::new();
+        write_frame(&mut full, &Json::obj([("k", Json::from(1u64))])).unwrap();
+        let mut r = scripted(vec![Ok(full[..full.len() - 2].to_vec())]);
+        let mut reader = FrameReader::new(Duration::from_secs(10));
+        assert!(matches!(reader.step(&mut r).unwrap(), FrameStep::Idle));
+        let err = reader.step(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn frame_reader_stalls_out_a_slow_loris() {
+        let mut full = Vec::new();
+        write_frame(&mut full, &Json::obj([("k", Json::from(1u64))])).unwrap();
+        let mut r = scripted(vec![
+            Ok(full[..3].to_vec()),
+            Err(would_block()),
+            Err(would_block()),
+        ]);
+        let mut reader = FrameReader::new(Duration::from_millis(1));
+        assert!(matches!(reader.step(&mut r).unwrap(), FrameStep::Idle));
+        std::thread::sleep(Duration::from_millis(5));
+        let err = loop {
+            match reader.step(&mut r) {
+                Ok(FrameStep::Idle) => continue,
+                Ok(other) => panic!("expected stall, got {other:?}"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(err.to_string().starts_with("[stalled]"), "{err}");
     }
 }

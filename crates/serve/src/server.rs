@@ -34,9 +34,10 @@
 
 use crate::cache::ArtifactCache;
 use crate::job::{self, JobOutput};
-use crate::protocol::{read_frame, write_frame};
+use crate::protocol::{write_frame, FrameReader, FrameStep};
 use crate::request::{JobKind, JobRequest, ResolvedJob};
 use shell_attacks::AttackCheckpoint;
+use shell_chaos::{with_retry, Io, Journal, RetryPolicy};
 use shell_guard::Budget;
 use shell_util::Json;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -46,6 +47,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Default bound on the admission queue (`SHELL_SERVE_MAX_QUEUE`
+/// overrides): submits beyond it are rejected with a typed `[overloaded]`
+/// error instead of growing memory and queue latency without bound.
+pub const DEFAULT_MAX_QUEUE: usize = 256;
+
+/// Default per-frame read deadline in milliseconds
+/// (`SHELL_SERVE_READ_DEADLINE_MS` overrides): a frame that is still
+/// incomplete this long after its first byte fails that connection with a
+/// typed `[stalled]` error.
+pub const DEFAULT_READ_DEADLINE_MS: u64 = 10_000;
 
 /// How a server is stood up.
 #[derive(Debug, Clone)]
@@ -57,6 +69,21 @@ pub struct ServerConfig {
     /// Worker threads. `0` means [`shell_exec::current_jobs`], so
     /// `SHELL_JOBS` sizes the service exactly like the batch tools.
     pub workers: usize,
+    /// Filesystem seam for all durable state. Production keeps the real
+    /// filesystem; the crash-point matrix swaps in a
+    /// [`shell_chaos::ChaosIo`].
+    pub io: Arc<dyn Io>,
+    /// Admission-queue bound. `0` means `SHELL_SERVE_MAX_QUEUE`, defaulting
+    /// to [`DEFAULT_MAX_QUEUE`].
+    pub max_queue: usize,
+    /// Per-frame read deadline in ms. `0` means
+    /// `SHELL_SERVE_READ_DEADLINE_MS`, defaulting to
+    /// [`DEFAULT_READ_DEADLINE_MS`].
+    pub read_deadline_ms: u64,
+    /// Journaled durable commits (write-ahead intent; see
+    /// [`shell_chaos::Journal`]). On by default; `bench_chaos` turns it off
+    /// to measure the journaling overhead.
+    pub journaled: bool,
 }
 
 impl ServerConfig {
@@ -66,6 +93,10 @@ impl ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             state_dir: state_dir.into(),
             workers: 0,
+            io: shell_chaos::real(),
+            max_queue: 0,
+            read_deadline_ms: 0,
+            journaled: true,
         }
     }
 }
@@ -122,8 +153,14 @@ struct JobState {
 struct Inner {
     state_dir: PathBuf,
     cache: ArtifactCache,
+    io: Arc<dyn Io>,
+    /// Write-ahead intent journal governing `jobs/` and `results/` commits
+    /// (`None` when the config turned journaling off).
+    journal: Option<Journal>,
     max_deadline_ms: Option<u64>,
     max_conflicts: Option<u64>,
+    max_queue: usize,
+    read_deadline: Duration,
     /// Abort the process after an attack job spends this many conflicts —
     /// the crash-injection hook the restart-resume smoke test uses.
     crash_after_conflicts: Option<u64>,
@@ -134,6 +171,13 @@ struct Inner {
     queue_cv: Condvar,
     next_id: AtomicU64,
     shutdown: AtomicBool,
+    /// Drain mode: submits are refused, running attacks are cancelled (so
+    /// they checkpoint at the next DIP iteration) and their jobs revert to
+    /// Queued with pending files preserved; the server exits once the last
+    /// running job has checkpointed.
+    draining: AtomicBool,
+    /// Jobs currently executing (drain waits for this to hit zero).
+    running: AtomicU64,
     /// Set by [`Server::crash`]: suppress terminal persistence so pending
     /// job files survive, exactly as they would across a SIGKILL.
     crashing: AtomicBool,
@@ -181,17 +225,48 @@ impl Server {
         shell_verify::install();
 
         for sub in ["jobs", "results", "checkpoints", "cache"] {
-            std::fs::create_dir_all(config.state_dir.join(sub))?;
+            config.io.create_dir_all(&config.state_dir.join(sub))?;
         }
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
 
+        let journal = if config.journaled {
+            Some(Journal::open(
+                config.io.clone(),
+                config.state_dir.join("journal"),
+            )?)
+        } else {
+            None
+        };
+        let max_queue = if config.max_queue != 0 {
+            config.max_queue
+        } else {
+            env_u64("SHELL_SERVE_MAX_QUEUE")
+                .map(|n| n as usize)
+                .filter(|&n| n > 0)
+                .unwrap_or(DEFAULT_MAX_QUEUE)
+        };
+        let read_deadline_ms = if config.read_deadline_ms != 0 {
+            config.read_deadline_ms
+        } else {
+            env_u64("SHELL_SERVE_READ_DEADLINE_MS")
+                .filter(|&n| n > 0)
+                .unwrap_or(DEFAULT_READ_DEADLINE_MS)
+        };
         let inner = Arc::new(Inner {
-            cache: ArtifactCache::new(config.state_dir.join("cache")),
+            cache: ArtifactCache::with_io(
+                config.state_dir.join("cache"),
+                config.io.clone(),
+                config.journaled,
+            ),
+            io: config.io,
+            journal,
             state_dir: config.state_dir,
             max_deadline_ms: env_u64("SHELL_SERVE_MAX_DEADLINE_MS"),
             max_conflicts: env_u64("SHELL_SERVE_MAX_CONFLICTS"),
+            max_queue,
+            read_deadline: Duration::from_millis(read_deadline_ms),
             crash_after_conflicts: env_u64("SHELL_SERVE_CRASH_AFTER_CONFLICTS"),
             jobs: Mutex::new(BTreeMap::new()),
             jobs_cv: Condvar::new(),
@@ -199,9 +274,18 @@ impl Server {
             queue_cv: Condvar::new(),
             next_id: AtomicU64::new(1),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            running: AtomicU64::new(0),
             crashing: AtomicBool::new(false),
             requests: AtomicU64::new(0),
         });
+        // Recovery order matters: resolve interrupted commits first (roll
+        // forward/back), then verify the cache, then rebuild the job table
+        // from what survived.
+        if let Some(journal) = &inner.journal {
+            journal.recover();
+        }
+        inner.cache.scan_startup();
         inner.recover_persisted_jobs();
 
         let worker_count = if config.workers == 0 {
@@ -309,14 +393,27 @@ impl Inner {
         self.state_dir.join("checkpoints").join(format!("{id}.json"))
     }
 
-    fn persist_pending(&self, id: u64, request: &JobRequest) -> std::io::Result<()> {
-        let doc = Json::obj([("id", Json::from(id)), ("request", request.to_json())]);
-        let path = self.job_path(id);
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, doc.to_string_pretty())?;
-        std::fs::rename(&tmp, &path)
+    /// One durable commit: journaled when the config says so, plain atomic
+    /// write otherwise, either way under the bounded transient-retry
+    /// ladder.
+    fn commit(&self, path: &PathBuf, bytes: &[u8]) -> std::io::Result<()> {
+        let mut ladder = Vec::new();
+        with_retry(&RetryPolicy::default(), &mut ladder, || match &self.journal {
+            Some(journal) => journal.commit(path, bytes),
+            None => shell_chaos::atomic_write(&*self.io, path, bytes),
+        })
     }
 
+    fn persist_pending(&self, id: u64, request: &JobRequest) -> std::io::Result<()> {
+        let doc = Json::obj([("id", Json::from(id)), ("request", request.to_json())]);
+        self.commit(&self.job_path(id), doc.to_string_pretty().as_bytes())
+    }
+
+    /// Commits the terminal record to `results/` and — **only if that
+    /// commit succeeded** — retires the pending job file and checkpoint.
+    /// On commit failure the pending file survives, so a restart re-runs
+    /// the job instead of stranding it with no record anywhere (the
+    /// orphaned-job leak this replaces).
     fn persist_terminal(&self, id: u64, state: &JobState) {
         if self.crashing.load(Ordering::SeqCst) {
             return;
@@ -339,73 +436,123 @@ impl Inner {
                     .unwrap_or(Json::Null),
             ),
         ]);
-        let path = self.result_path(id);
-        let tmp = path.with_extension("tmp");
-        if std::fs::write(&tmp, doc.to_string_pretty()).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
+        match self.commit(&self.result_path(id), doc.to_string_pretty().as_bytes()) {
+            Ok(()) => {
+                let _ = self.io.remove_file(&self.job_path(id));
+                let _ = self.io.remove_file(&self.checkpoint_path(id));
+            }
+            Err(_) => {
+                shell_trace::counter_add("serve.result_commit_failed", 1);
+            }
         }
-        let _ = std::fs::remove_file(self.job_path(id));
-        let _ = std::fs::remove_file(self.checkpoint_path(id));
     }
 
     /// Startup recovery: finished jobs come back queryable from
     /// `results/`, unfinished ones re-enqueue from `jobs/` in id order.
+    ///
+    /// Hardening invariants:
+    ///
+    /// * Temp litter in all three state dirs is swept first (a crash
+    ///   mid-`atomic_write` leaves only litter, never a torn target).
+    /// * A torn/unparseable record is **evicted and recomputed, never
+    ///   served**: torn results are deleted (`serve.evicted_results`) so
+    ///   the pending file — if any — re-queues the job; torn pending files
+    ///   with no result are deleted too (`serve.evicted_jobs`, nothing left
+    ///   to recompute from).
+    /// * A job with both a result *and* a pending file (the result commit
+    ///   landed but retiring the pending file crashed) resolves to the
+    ///   result: the stale pending file is dropped
+    ///   (`serve.orphans_resolved`) instead of double-running the job.
     fn recover_persisted_jobs(&self) {
-        let mut max_id = 0u64;
-        let mut jobs = self.jobs.lock().unwrap();
-        for (dir, pending) in [("results", false), ("jobs", true)] {
-            let Ok(entries) = std::fs::read_dir(self.state_dir.join(dir)) else {
-                continue;
-            };
-            let mut docs: Vec<(u64, Json)> = entries
-                .flatten()
-                .filter_map(|e| {
-                    let text = std::fs::read_to_string(e.path()).ok()?;
-                    let doc = Json::parse(&text).ok()?;
-                    Some((doc.get("id")?.as_u64()?, doc))
+        for sub in ["jobs", "results", "checkpoints"] {
+            shell_chaos::sweep_tmp(&*self.io, &self.state_dir.join(sub));
+        }
+        let read_docs = |dir: &str| -> Vec<(u64, Option<Json>, PathBuf)> {
+            let entries = self.io.list_dir(&self.state_dir.join(dir)).unwrap_or_default();
+            let mut docs: Vec<(u64, Option<Json>, PathBuf)> = entries
+                .into_iter()
+                .filter_map(|path| {
+                    // The file name is the id; a parse failure must still
+                    // surface (as `None`) so the torn record gets evicted.
+                    let id: u64 = path.file_stem()?.to_str()?.parse().ok()?;
+                    let doc = shell_chaos::read_string(&*self.io, &path)
+                        .ok()
+                        .and_then(|text| Json::parse(&text).ok())
+                        .filter(|doc| {
+                            doc.get("id").and_then(Json::as_u64) == Some(id)
+                                && doc
+                                    .get("request")
+                                    .is_some_and(|r| JobRequest::from_json(r).is_ok())
+                        });
+                    Some((id, doc, path))
                 })
                 .collect();
-            docs.sort_by_key(|(id, _)| *id);
-            for (id, doc) in docs {
-                let Some(request) = doc
-                    .get("request")
-                    .and_then(|r| JobRequest::from_json(r).ok())
-                else {
-                    continue;
-                };
-                max_id = max_id.max(id);
-                let status = if pending {
-                    JobStatus::Queued
-                } else {
-                    match doc.get("status").and_then(Json::as_str) {
-                        Some("done") => JobStatus::Done,
-                        Some("cancelled") => JobStatus::Cancelled,
-                        _ => JobStatus::Failed,
-                    }
-                };
-                jobs.insert(
-                    id,
-                    JobState {
-                        request,
-                        status,
-                        budget: None,
-                        result: doc.get("result").filter(|r| **r != Json::Null).cloned(),
-                        error: doc
-                            .get("error")
-                            .and_then(Json::as_str)
-                            .map(str::to_string),
-                        cached: doc
-                            .get("cached")
-                            .and_then(Json::as_bool)
-                            .unwrap_or(false),
-                        counters_at_start: HashMap::new(),
-                    },
-                );
-                if pending {
-                    self.queue.lock().unwrap().push_back(id);
-                    shell_trace::counter_add("serve.recovered_jobs", 1);
-                }
+            docs.sort_by_key(|(id, _, _)| *id);
+            docs
+        };
+
+        let mut max_id = 0u64;
+        let mut jobs = self.jobs.lock().unwrap();
+        for (id, doc, path) in read_docs("results") {
+            max_id = max_id.max(id);
+            let Some(doc) = doc else {
+                // Torn terminal record: evict; the pending pass below
+                // re-queues the job if its pending file survived.
+                let _ = self.io.remove_file(&path);
+                shell_trace::counter_add("serve.evicted_results", 1);
+                continue;
+            };
+            let request = JobRequest::from_json(doc.get("request").expect("validated"))
+                .expect("validated");
+            let status = match doc.get("status").and_then(Json::as_str) {
+                Some("done") => JobStatus::Done,
+                Some("cancelled") => JobStatus::Cancelled,
+                _ => JobStatus::Failed,
+            };
+            jobs.insert(
+                id,
+                JobState {
+                    request,
+                    status,
+                    budget: None,
+                    result: doc.get("result").filter(|r| **r != Json::Null).cloned(),
+                    error: doc.get("error").and_then(Json::as_str).map(str::to_string),
+                    cached: doc.get("cached").and_then(Json::as_bool).unwrap_or(false),
+                    counters_at_start: HashMap::new(),
+                },
+            );
+        }
+        for (id, doc, path) in read_docs("jobs") {
+            max_id = max_id.max(id);
+            if jobs.contains_key(&id) {
+                // The terminal commit landed but the pending file was not
+                // retired (crash in the gap): the result wins, the stale
+                // pending file goes, the job does NOT re-run.
+                let _ = self.io.remove_file(&path);
+                shell_trace::counter_add("serve.orphans_resolved", 1);
+                continue;
             }
+            let Some(doc) = doc else {
+                let _ = self.io.remove_file(&path);
+                shell_trace::counter_add("serve.evicted_jobs", 1);
+                continue;
+            };
+            let request = JobRequest::from_json(doc.get("request").expect("validated"))
+                .expect("validated");
+            jobs.insert(
+                id,
+                JobState {
+                    request,
+                    status: JobStatus::Queued,
+                    budget: None,
+                    result: None,
+                    error: None,
+                    cached: false,
+                    counters_at_start: HashMap::new(),
+                },
+            );
+            self.queue.lock().unwrap().push_back(id);
+            shell_trace::counter_add("serve.recovered_jobs", 1);
         }
         drop(jobs);
         self.next_id.store(max_id + 1, Ordering::SeqCst);
@@ -419,7 +566,9 @@ impl Inner {
             let id = {
                 let mut queue = self.queue.lock().unwrap();
                 loop {
-                    if self.shutdown.load(Ordering::SeqCst) {
+                    if self.shutdown.load(Ordering::SeqCst)
+                        || self.draining.load(Ordering::SeqCst)
+                    {
                         return;
                     }
                     if let Some(id) = queue.pop_front() {
@@ -433,9 +582,14 @@ impl Inner {
     }
 
     fn run_job(&self, id: u64) {
-        // Claim the job; a cancel may have beaten us to it.
+        // Claim the job; a cancel (or a drain) may have beaten us to it.
         let (request, budget) = {
             let mut jobs = self.jobs.lock().unwrap();
+            if self.draining.load(Ordering::SeqCst) {
+                // Leave it Queued with its pending file; the restart after
+                // the drain picks it up.
+                return;
+            }
             let Some(state) = jobs.get_mut(&id) else { return };
             if state.status != JobStatus::Queued {
                 return;
@@ -460,6 +614,7 @@ impl Inner {
             state.status = JobStatus::Running;
             state.budget = Some(budget.clone());
             state.counters_at_start = counters_now();
+            self.running.fetch_add(1, Ordering::SeqCst);
             (state.request.clone(), budget)
         };
         self.jobs_cv.notify_all();
@@ -481,7 +636,8 @@ impl Inner {
                 ));
             }
             let (checkpoint_path, resume) = self.attack_state(id, &resolved);
-            let output = job::run(&resolved, &budget, checkpoint_path, resume)?;
+            let output =
+                job::run(&resolved, &budget, checkpoint_path, resume, self.io.clone())?;
             if let (Some(crash_at), JobKind::Attack) =
                 (self.crash_after_conflicts, resolved.request.kind)
             {
@@ -528,18 +684,37 @@ impl Inner {
                 };
             }
         }
+        let drained = self.draining.load(Ordering::SeqCst)
+            && state.status == JobStatus::Cancelled
+            && budget.is_cancelled();
         if self.crashing.load(Ordering::SeqCst) {
             // Pretend the terminal transition never happened: the pending
             // file stays, the restart re-runs the job.
             state.status = JobStatus::Queued;
             state.result = None;
             state.error = None;
+        } else if drained {
+            // Drain-stopped, not operator-cancelled: the attack just
+            // checkpointed (its budget was cancelled by the drain), so the
+            // job reverts to Queued with its pending file and checkpoint
+            // intact — the next incarnation resumes and reports
+            // byte-identically.
+            state.status = JobStatus::Queued;
+            state.result = None;
+            state.error = None;
+            shell_trace::counter_add("serve.drained", 1);
         } else {
             self.persist_terminal(id, state);
             shell_trace::counter_add("serve.jobs_finished", 1);
         }
         drop(jobs);
         self.jobs_cv.notify_all();
+        if self.running.fetch_sub(1, Ordering::SeqCst) == 1
+            && self.draining.load(Ordering::SeqCst)
+        {
+            // Last running job has checkpointed: the drain completes.
+            self.begin_shutdown();
+        }
     }
 
     /// Attack jobs checkpoint under `checkpoints/<id>.json`; a file already
@@ -553,7 +728,10 @@ impl Inner {
             return (None, None);
         }
         let path = self.checkpoint_path(id);
-        let resume = AttackCheckpoint::load(&path).ok();
+        // A torn checkpoint (crash mid-save before atomic_write landed) is
+        // simply absent: the attack restarts from iteration 0 and — being
+        // deterministic — still produces the byte-identical report.
+        let resume = AttackCheckpoint::load_with(&*self.io, &path).ok();
         if resume.is_some() {
             shell_trace::counter_add("serve.attack_resumes", 1);
         }
@@ -584,31 +762,35 @@ impl Inner {
     }
 
     fn serve_connection(self: Arc<Inner>, stream: TcpStream) {
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+        // The socket timeout is the poll tick: FrameReader keeps partial
+        // frame bytes across ticks (the old read_frame + `continue` loop
+        // dropped them, corrupting framing for any client slower than one
+        // tick) and enforces the per-frame deadline.
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
         let _ = stream.set_nodelay(true);
         let mut reader = match stream.try_clone() {
             Ok(s) => s,
             Err(_) => return,
         };
         let mut writer = stream;
+        let mut frames = FrameReader::new(self.read_deadline);
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
             }
-            let request = match read_frame(&mut reader) {
-                Ok(Some(json)) => json,
-                Ok(None) => return,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    continue;
-                }
+            let request = match frames.step(&mut reader) {
+                Ok(FrameStep::Frame(json)) => json,
+                Ok(FrameStep::Idle) => continue,
+                Ok(FrameStep::Eof) => return,
                 Err(e) => {
-                    // Malformed frame: answer with the error, then drop the
-                    // connection — framing state is unrecoverable.
+                    // This one connection is unrecoverable (torn framing,
+                    // stall, disconnect mid-frame); answer with a typed
+                    // error if the write half still works, then drop it.
+                    // The server keeps serving everyone else.
+                    if e.kind() == std::io::ErrorKind::TimedOut {
+                        shell_trace::counter_add("serve.stalled", 1);
+                    }
+                    shell_trace::counter_add("serve.conn_errors", 1);
                     let _ = write_frame(&mut writer, &err_json(&e.to_string()));
                     return;
                 }
@@ -641,12 +823,47 @@ impl Inner {
                 Ok(()) => ok_json([("purged", Json::from(true))]),
                 Err(e) => err_json(&format!("purge failed: {e}")),
             },
+            "drain" => self.cmd_drain(),
             "shutdown" => {
                 self.begin_shutdown();
                 ok_json([("stopping", Json::from(true))])
             }
             other => err_json(&format!("unknown command `{other}`")),
         }
+    }
+
+    /// Drain-mode shutdown: refuse new submits, cancel the budgets of
+    /// running jobs so they checkpoint at their next iteration, revert them
+    /// to Queued with pending files and checkpoints preserved, and exit
+    /// once the last one has stopped. A restart on the same state dir
+    /// resumes every drained job from its checkpoint.
+    fn cmd_drain(&self) -> Json {
+        let first = !self.draining.swap(true, Ordering::SeqCst);
+        let mut running = 0u64;
+        if first {
+            let jobs = self.jobs.lock().unwrap();
+            for state in jobs.values() {
+                if state.status == JobStatus::Running {
+                    running += 1;
+                    if let Some(budget) = &state.budget {
+                        budget.cancel();
+                    }
+                }
+            }
+            drop(jobs);
+            // Park the idle workers; busy ones exit via run_job's drain
+            // path.
+            self.queue_cv.notify_all();
+            if self.running.load(Ordering::SeqCst) == 0 {
+                self.begin_shutdown();
+            }
+        } else {
+            running = self.running.load(Ordering::SeqCst);
+        }
+        ok_json([
+            ("draining", Json::from(true)),
+            ("running", Json::from(running)),
+        ])
     }
 
     fn cmd_submit(&self, request: &Json) -> Json {
@@ -661,6 +878,9 @@ impl Inner {
             Ok(r) => r,
             Err(e) => return err_json(&e),
         };
+        if self.draining.load(Ordering::SeqCst) {
+            return err_json("[draining] server is draining; resubmit after restart");
+        }
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
 
         // Cache fast path: an identical request was computed before —
@@ -686,6 +906,16 @@ impl Inner {
             ]);
         }
 
+        // Admission control: a full queue refuses work (typed, retryable)
+        // instead of growing memory and queue latency without bound. Cache
+        // hits above bypass this — they cost no queue slot.
+        if self.queue_depth() >= self.max_queue {
+            shell_trace::counter_add("serve.overloaded", 1);
+            return err_json(&format!(
+                "[overloaded] admission queue full ({} jobs); retry later",
+                self.max_queue
+            ));
+        }
         if let Err(e) = self.persist_pending(id, &parsed) {
             return err_json(&format!("cannot persist job: {e}"));
         }
@@ -901,6 +1131,8 @@ impl Inner {
         ok_json([
             ("requests", Json::from(self.requests.load(Ordering::Relaxed))),
             ("queue_depth", Json::from(self.queue_depth())),
+            ("max_queue", Json::from(self.max_queue)),
+            ("draining", Json::from(self.draining.load(Ordering::SeqCst))),
             (
                 "jobs",
                 Json::obj(
@@ -915,10 +1147,26 @@ impl Inner {
                     ("hits", Json::from(self.cache.hits())),
                     ("misses", Json::from(self.cache.misses())),
                     ("corrupt", Json::from(self.cache.corrupt())),
+                    (
+                        "evicted_startup",
+                        Json::from(self.cache.evicted_startup()),
+                    ),
                 ]),
             ),
         ])
     }
+}
+
+/// Extracts the typed code from an error message of the `[code] detail`
+/// shape the server emits for retryable/structural refusals (`overloaded`,
+/// `draining`, `stalled`), letting clients branch on the code without
+/// parsing prose.
+pub fn error_code(message: &str) -> Option<&str> {
+    let rest = message.strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let code = &rest[..end];
+    (!code.is_empty() && code.chars().all(|c| c.is_ascii_lowercase() || c == '_'))
+        .then_some(code)
 }
 
 fn ok_json<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {

@@ -282,4 +282,38 @@ cmp "$serve_tmp/attack_ref.json" "$serve_tmp/attack_resumed.json" || {
 wait "$resume_pid" || true
 echo "ok"
 
+# Chaos smoke: a subset of the deterministic crash-point matrix (every
+# 7th durable commit step) at worker pools of 1 and 4 — the server is
+# killed at each selected step under injected IO faults, restarted, and
+# its recovered artifacts byte-compared against an uninterrupted run.
+# Zero torn states and zero report mismatches are the contract, and the
+# write-ahead journal must not tax warm cache hits by more than 10%.
+echo "== chaos smoke: crash-point matrix subset, journal overhead =="
+SHELL_CHAOS_STRIDE=7 cargo run -q --release --offline --bin bench_chaos >/dev/null
+grep -q '"torn_states": 0' results/BENCH_chaos.json || {
+    echo "chaos matrix left torn state on disk:" >&2
+    grep '"torn_states"' results/BENCH_chaos.json >&2
+    exit 1
+}
+grep -q '"report_mismatches": 0' results/BENCH_chaos.json || {
+    echo "chaos matrix recovery diverged from the reference:" >&2
+    grep '"report_mismatches"' results/BENCH_chaos.json >&2
+    exit 1
+}
+grep -q '"journal_overhead_ok": true' results/BENCH_chaos.json || {
+    echo "journaling taxed warm cache hits beyond the 10% bound:" >&2
+    grep '"journal_overhead"' results/BENCH_chaos.json >&2
+    exit 1
+}
+# Drain-mode shutdown: an idle draining server must exit on its own.
+"$serve_bin" serve --state-dir "$serve_tmp/c" --port-file "$serve_tmp/port_c" 2>/dev/null &
+drain_pid=$!
+serve_wait_port "$serve_tmp/port_c"
+"$serve_bin" drain --port-file "$serve_tmp/port_c" | grep -q '"draining":true' || {
+    echo "drain command not acknowledged" >&2
+    exit 1
+}
+wait "$drain_pid" || true
+echo "ok"
+
 echo "verify: all green (hermetic)"
