@@ -181,15 +181,43 @@ impl Table {
 ///
 /// Returns the IO error text on failure.
 pub fn write_results_json(name: &str, json: &Json) -> Result<String, String> {
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("results");
-    std::fs::create_dir_all(&root).map_err(|e| e.to_string())?;
-    let path = root.join(format!("{name}.json"));
     let payload = Json::obj([
         ("jobs", Json::from(shell_exec::current_jobs())),
         ("data", json.clone()),
     ]);
+    write_results_file(name, &payload)
+}
+
+/// Like [`write_results_json`] but **without** the `{"jobs": N, …}` wrapper,
+/// marked `"jobs_invariant": true` instead. Reserved for artifacts whose
+/// contract is byte-identity across `SHELL_JOBS` settings (the explore
+/// sweep): recording the worker count would defeat the invariance check
+/// `scripts/verify.sh` performs by diffing runs at different job counts.
+///
+/// # Errors
+///
+/// Returns the IO error text on failure.
+pub fn write_invariant_results_json(name: &str, json: &Json) -> Result<String, String> {
+    let payload = Json::obj([
+        ("jobs_invariant", Json::Bool(true)),
+        ("data", json.clone()),
+    ]);
+    write_results_file(name, &payload)
+}
+
+/// The workspace `results/` directory, resolved relative to this crate so
+/// it works from any CWD (cargo runs benches and binaries with different
+/// working directories).
+pub fn results_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results")
+}
+
+fn write_results_file(name: &str, payload: &Json) -> Result<String, String> {
+    let root = results_root();
+    std::fs::create_dir_all(&root).map_err(|e| e.to_string())?;
+    let path = root.join(format!("{name}.json"));
     std::fs::write(&path, payload.to_string_pretty()).map_err(|e| e.to_string())?;
     Ok(path.display().to_string())
 }

@@ -32,6 +32,20 @@
 //! pair reproduces the same torn bytes and the same recovery, which is what
 //! lets the crash-point matrix in `shell-serve` enumerate every durable
 //! commit step and assert byte-identical recovery at each one.
+//!
+//! The whole-file commit primitive through the production [`Io`]:
+//!
+//! ```
+//! use shell_chaos::{atomic_write, read_string, real};
+//!
+//! let io = real();
+//! let path = std::env::temp_dir().join(format!("shell_chaos_doc_{}.json", std::process::id()));
+//! // Temp file + fsync + rename: readers see the old bytes or these, never a tear.
+//! atomic_write(io.as_ref(), &path, b"{\"ok\": true}")?;
+//! assert_eq!(read_string(io.as_ref(), &path)?, "{\"ok\": true}");
+//! std::fs::remove_file(&path)?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
 
 pub mod commit;
 pub mod io;

@@ -40,8 +40,8 @@ pub use decouple::{partition_by_cells, RedactionPartition};
 pub use explore::{corruption_rate, optimize_coefficients};
 pub use overhead::{evaluate_overhead, Overhead};
 pub use pipeline::{
-    activate, activate_with_key, shell_lock, shell_lock_cells, shell_lock_design,
-    AttemptRecord, RedactionOutcome, ShellOptions,
+    activate, activate_with_key, shell_lock, shell_lock_cells, shell_lock_cells_with_fabric,
+    shell_lock_design, shell_lock_with_fabric, AttemptRecord, RedactionOutcome, ShellOptions,
 };
 pub use score::{score_cells, CellScore, Coefficients};
 pub use select::{select_subcircuit, SelectionOptions, SelectionResult};

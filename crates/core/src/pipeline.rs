@@ -13,7 +13,8 @@ use shell_fabric::{
     shrink_locked_netlist, to_locked_netlist, Bitstream, Fabric, FabricConfig, FramedBitstream,
 };
 use shell_netlist::{CellId, Netlist};
-use shell_pnr::{place_and_route_with_chains, PnrError, PnrOptions};
+use shell_pnr::{place_and_route, place_and_route_with_chains, PnrError, PnrOptions, PnrResult};
+use shell_synth::lut_map;
 
 /// Options of the SheLL flow.
 #[derive(Debug, Clone)]
@@ -133,11 +134,65 @@ pub fn shell_lock_cells(
     cells: &[CellId],
     options: &ShellOptions,
 ) -> Result<RedactionOutcome, PnrError> {
+    shell_lock_cells_with_fabric(design, cells, FabricConfig::fabulous_style(true), options)
+}
+
+/// SheLL flow with score-driven selection on an explicit fabric
+/// architecture — the design-space explorer's entry point
+/// (`shell-explore` sweeps [`FabricConfig`] knobs through here).
+///
+/// Chain-enabled configs run the dual-synthesis chain flow; chainless
+/// configs LUT-map the whole sub-circuit at the config's `lut_k` (the
+/// baseline-style mapping). Both paths get the fit retry ladder.
+///
+/// # Errors
+///
+/// [`PnrError::Unsupported`] for an invalid `config`; otherwise the same
+/// conditions as [`shell_lock`].
+pub fn shell_lock_with_fabric(
+    design: &Netlist,
+    config: FabricConfig,
+    options: &ShellOptions,
+) -> Result<RedactionOutcome, PnrError> {
+    let selection = select_subcircuit(design, &options.selection);
+    shell_lock_cells_with_fabric(design, &selection.cells, config, options)
+}
+
+/// [`shell_lock_with_fabric`] with an explicit cell selection.
+///
+/// # Errors
+///
+/// Same as [`shell_lock_with_fabric`].
+pub fn shell_lock_cells_with_fabric(
+    design: &Netlist,
+    cells: &[CellId],
+    config: FabricConfig,
+    options: &ShellOptions,
+) -> Result<RedactionOutcome, PnrError> {
     let _span = shell_trace::span!("lock.flow");
+    config
+        .validate()
+        .map_err(|e| PnrError::Unsupported(format!("invalid fabric config: {e}")))?;
     let partition = partition_by_cells(design, cells);
-    let config = FabricConfig::fabulous_style(true);
     let (pnr, attempts) = map_with_ladder(&partition.sub, config, options)?;
     finish(design, partition, pnr, options.skip_shrink, attempts)
+}
+
+/// One mapping attempt for the fit ladder: the chain flow for chain-enabled
+/// fabrics, LUT-map-everything + plain PnR otherwise.
+fn map_once(
+    sub: &Netlist,
+    config: FabricConfig,
+    pnr_options: &PnrOptions,
+) -> Result<PnrResult, PnrError> {
+    if config.mux_chains {
+        place_and_route_with_chains(sub, config, pnr_options)
+    } else {
+        let mapped = lut_map(sub, config.lut_k)
+            .map_err(|e| PnrError::Unsupported(e.to_string()))?
+            .netlist;
+        place_and_route(&mapped, config, pnr_options)
+    }
 }
 
 /// The retry ladder around the mapping flow. Fit failures escalate one knob
@@ -159,7 +214,7 @@ fn map_with_ladder(
         // matching `AttemptRecord` journals.
         let _rung_span = shell_trace::span!("lock.ladder_rung", attempt = attempt);
         shell_trace::counter_add("lock.ladder_attempts", 1);
-        match place_and_route_with_chains(sub, config.clone(), &pnr_options) {
+        match map_once(sub, config.clone(), &pnr_options) {
             Ok(result) => {
                 attempts.push(AttemptRecord {
                     attempt,

@@ -1,0 +1,107 @@
+//! The ARIANNA-style auto-customizer: pick the smallest fabric that
+//! survives attack budget *B* for a given circuit.
+
+use crate::grid::SweepGrid;
+use crate::sweep::{run_sweep, PointResult, SweepError, SweepOptions, SweepReport};
+use shell_netlist::Netlist;
+
+/// Selects the cheapest surviving point of a finished sweep: minimal area
+/// overhead, ties broken by tile count, then by grid index. `None` when no
+/// point survived budget *B* (the grid has no fabric worth shipping).
+pub fn pick_from_report(report: &SweepReport) -> Option<&PointResult> {
+    report
+        .points
+        .iter()
+        .filter(|p| p.verdict.survived())
+        .min_by(|a, b| {
+            a.area
+                .total_cmp(&b.area)
+                .then(a.tiles.cmp(&b.tiles))
+                .then(a.index.cmp(&b.index))
+        })
+}
+
+/// Runs the sweep and returns the smallest fabric that survives budget *B*
+/// (`opts.attack_quota`) on `design` — or `None` when nothing on the grid
+/// survives. The full sweep runs either way: "smallest surviving" is a
+/// global property of the grid, not a first-hit search.
+///
+/// # Errors
+///
+/// Propagates [`SweepError`] from [`run_sweep`].
+pub fn pick_fabric(
+    design: &Netlist,
+    grid: &SweepGrid,
+    opts: &SweepOptions,
+) -> Result<Option<PointResult>, SweepError> {
+    let report = run_sweep(design, grid, opts)?;
+    Ok(pick_from_report(&report).cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{FabricPoint, Switchbox};
+    use crate::sweep::PointVerdict;
+
+    fn result(index: usize, survived: bool, area: f64, tiles: usize) -> PointResult {
+        PointResult {
+            index,
+            point: FabricPoint {
+                lut_k: 4,
+                channel_width: 12,
+                switchbox: Switchbox::Mux4Tree,
+                chain_len: 4,
+                min_dims: (2, 2),
+            },
+            verdict: if survived {
+                PointVerdict::Survived {
+                    iterations: 4,
+                    conflicts: 100,
+                }
+            } else {
+                PointVerdict::Broken {
+                    iterations: 2,
+                    conflicts: 50,
+                }
+            },
+            key_bits: 8,
+            tiles,
+            utilization: 1.0,
+            area,
+            power: area,
+            delay: area,
+        }
+    }
+
+    #[test]
+    fn picks_cheapest_survivor() {
+        let report = SweepReport {
+            points: vec![
+                result(0, false, 1.0, 4),
+                result(1, true, 3.0, 9),
+                result(2, true, 2.0, 9),
+            ],
+            resumed: 0,
+        };
+        assert_eq!(pick_from_report(&report).unwrap().index, 2);
+    }
+
+    #[test]
+    fn tile_count_breaks_area_ties() {
+        let report = SweepReport {
+            points: vec![result(0, true, 2.0, 16), result(1, true, 2.0, 9)],
+            resumed: 0,
+        };
+        assert_eq!(pick_from_report(&report).unwrap().index, 1);
+    }
+
+    #[test]
+    fn none_when_everything_breaks() {
+        let report = SweepReport {
+            points: vec![result(0, false, 1.0, 4)],
+            resumed: 0,
+        };
+        assert!(pick_from_report(&report).is_none());
+    }
+}

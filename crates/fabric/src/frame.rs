@@ -24,6 +24,20 @@
 //! * [`PartialReconfig`] is a frame-level diff: applying it rewrites only
 //!   dirty frames and skips the rest, observable through the
 //!   `bitstream.frames_written` / `bitstream.frames_skipped` counters.
+//!
+//! The codeword layer on its own — a single-bit upset anywhere in the
+//! 47-bit frame is repaired on readback:
+//!
+//! ```
+//! use shell_fabric::frame::{decode_frame, encode_frame};
+//!
+//! let code = encode_frame(0xDEAD_BEEF);
+//! let upset = code ^ (1 << 7); // flip one wire bit
+//! let back = decode_frame(upset, 0)?;
+//! assert_eq!(back.data, 0xDEAD_BEEF);
+//! assert_eq!(back.corrected, Some(7));
+//! # Ok::<(), shell_fabric::frame::FrameError>(())
+//! ```
 
 use crate::bitstream::Bitstream;
 use crate::export::{bools_to_hex, hex_to_bools};

@@ -31,6 +31,12 @@ pub struct PnrOptions {
     pub place_starts: usize,
     /// Verify the configured fabric against the input netlist.
     pub verify: bool,
+    /// Lower bound `(w, h)` on the fabric dimensions. The fit loop derives
+    /// its starting size from demand and clamps it to this floor, so a
+    /// sweep can ask for deliberately oversized arrays (more unused tiles →
+    /// more configuration bits → a bigger post-shrink key). The structural
+    /// minimum of 2×2 always applies.
+    pub min_dims: (usize, usize),
     /// Shared resource budget. Placement polls it and degrades to its
     /// best-so-far configuration; routing and the fit loop abort with
     /// [`PnrError::Exhausted`]. Defaults to [`Budget::from_env`], so
@@ -46,6 +52,7 @@ impl Default for PnrOptions {
             max_fit_attempts: 18,
             place_starts: 2,
             verify: true,
+            min_dims: (2, 2),
             budget: Budget::from_env(),
         }
     }
@@ -259,6 +266,7 @@ fn initial_dims(
     slots: usize,
     chain_blocks: usize,
     ports: usize,
+    min_dims: (usize, usize),
 ) -> (usize, usize) {
     let tiles_for_slots = slots.div_ceil(config.luts_per_clb.max(1));
     let tiles = tiles_for_slots.max(chain_blocks).max(1);
@@ -266,9 +274,10 @@ fn initial_dims(
     let mut h = tiles.div_ceil(w);
     // A single row/column fabric cannot change track indices (the rotation
     // needs vertical hops) — start at 2x2 minimum, and make sure the
-    // perimeter offers pad headroom (2 boundary nodes per port).
-    w = w.max(2);
-    h = h.max(2);
+    // perimeter offers pad headroom (2 boundary nodes per port). The
+    // caller-provided floor stacks on top of the structural minimum.
+    w = w.max(2).max(min_dims.0);
+    h = h.max(2).max(min_dims.1);
     while config.channel_width * 2 * (w + h) < 3 * ports {
         if w <= h {
             w += 1;
@@ -308,7 +317,8 @@ fn run_fit_loop_hybrid(
         .map(|c| c.len().div_ceil(config.chain_len.max(1)))
         .sum();
     let ports = mapped.inputs().len() + mapped.outputs().len();
-    let (mut w, mut h) = initial_dims(&config, slots.len(), chain_blocks, ports);
+    let (mut w, mut h) =
+        initial_dims(&config, slots.len(), chain_blocks, ports, options.min_dims);
     let mut last_err = String::new();
     let mut last_unroutable = false;
     for attempt in 1..=options.max_fit_attempts {

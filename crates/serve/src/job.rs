@@ -13,6 +13,7 @@
 
 use crate::request::{JobKind, ResolvedJob};
 use shell_attacks::{sat_attack_report, xor_lock_cells, AttackCheckpoint, SatAttackOptions};
+use shell_explore::{pick_from_report, run_sweep, SweepError, SweepOptions};
 use shell_guard::{Budget, Exhausted};
 use shell_lock::{activate, shell_lock, ShellOptions};
 use shell_netlist::verilog::write_verilog;
@@ -187,6 +188,72 @@ pub fn run_verify(job: &ResolvedJob, budget: &Budget) -> Result<JobOutput, Strin
     })
 }
 
+/// Runs a fabric design-space sweep (`shell-explore`): every grid point
+/// through lock → price → attack, with per-point journal commits under
+/// `journal_dir` so a server restart resumes instead of restarting. The
+/// request's `conflict_quota` is budget *B* (the per-point attack quota);
+/// the job budget's deadline/cancel stop the sweep between points.
+///
+/// # Errors
+///
+/// Mis-specified requests and invalid grids.
+pub fn run_explore(
+    job: &ResolvedJob,
+    budget: &Budget,
+    journal_dir: Option<PathBuf>,
+    journal_io: std::sync::Arc<dyn shell_chaos::Io>,
+) -> Result<JobOutput, String> {
+    let _span = shell_trace::span!("serve.job.explore");
+    let design = job.netlist.as_ref().ok_or("explore jobs need a circuit")?;
+    let grid = job.request.effective_grid();
+    let defaults = SweepOptions::default();
+    let opts = SweepOptions {
+        seed: job.request.seed,
+        // Budget B per point: the request's (server-clamped) quota, or the
+        // sweep default. The job budget itself is never quota-spent — its
+        // deadline and cancellation govern the sweep as a whole.
+        attack_quota: budget.remaining_quota().unwrap_or(defaults.attack_quota),
+        skip_shrink: job.request.skip_shrink,
+        budget: budget.clone(),
+        journal_dir,
+        io: journal_io,
+        ..defaults
+    };
+    match run_sweep(design, &grid, &opts) {
+        Ok(report) => {
+            let pick = pick_from_report(&report)
+                .map(|p| p.to_json())
+                .unwrap_or(Json::Null);
+            let payload = Json::obj([
+                ("kind", Json::from(JobKind::Explore.label())),
+                ("design", Json::from(design.name().to_string())),
+                ("grid", grid.to_json()),
+                ("report", report.to_json()),
+                ("pareto", shell_explore::pareto_json(&report)),
+                ("pick", pick),
+            ]);
+            Ok(JobOutput {
+                payload,
+                cacheable: budget_outcome_deterministic(budget),
+            })
+        }
+        // A deadline/cancel stop mid-sweep is an artifact of machine speed
+        // or operator action: report it as a stopped (never cached) result
+        // rather than a job failure. Finished points stay in the journal
+        // until the job reaches a terminal state.
+        Err(SweepError::Exhausted(e)) => Ok(JobOutput {
+            payload: Json::obj([
+                ("kind", Json::from(JobKind::Explore.label())),
+                ("design", Json::from(design.name().to_string())),
+                ("status", Json::from("stopped")),
+                ("reason", Json::from(e.label())),
+            ]),
+            cacheable: false,
+        }),
+        Err(e) => Err(format!("sweep failed: {e}")),
+    }
+}
+
 /// Runs the differential pipeline fuzzer. Fuzz reports are deterministic by
 /// construction (see `shell_verify::FuzzReport::to_json`), so the output is
 /// always cacheable.
@@ -204,7 +271,9 @@ pub fn run_fuzz(job: &ResolvedJob, _budget: &Budget) -> Result<JobOutput, String
     ])))
 }
 
-/// Dispatches on the request's kind.
+/// Dispatches on the request's kind. `checkpoint_path`/`resume` feed the
+/// attack checkpoint machinery; `journal_dir` is the explore sweep journal
+/// (both travel through `checkpoint_io`).
 ///
 /// # Errors
 ///
@@ -214,6 +283,7 @@ pub fn run(
     budget: &Budget,
     checkpoint_path: Option<PathBuf>,
     resume: Option<AttackCheckpoint>,
+    journal_dir: Option<PathBuf>,
     checkpoint_io: std::sync::Arc<dyn shell_chaos::Io>,
 ) -> Result<JobOutput, String> {
     match job.request.kind {
@@ -221,6 +291,7 @@ pub fn run(
         JobKind::Attack => run_attack(job, budget, checkpoint_path, resume, checkpoint_io),
         JobKind::Verify => run_verify(job, budget),
         JobKind::Fuzz => run_fuzz(job, budget),
+        JobKind::Explore => run_explore(job, budget, journal_dir, checkpoint_io),
     }
 }
 
@@ -239,8 +310,8 @@ mod tests {
     fn lock_runs_are_deterministic_and_cacheable() {
         shell_verify::install();
         let job = resolved(JobRequest::default());
-        let a = run(&job, &Budget::unlimited(), None, None, shell_chaos::real()).unwrap();
-        let b = run(&job, &Budget::unlimited(), None, None, shell_chaos::real()).unwrap();
+        let a = run(&job, &Budget::unlimited(), None, None, None, shell_chaos::real()).unwrap();
+        let b = run(&job, &Budget::unlimited(), None, None, None, shell_chaos::real()).unwrap();
         assert!(a.cacheable);
         assert_eq!(
             a.payload.to_string_compact(),
@@ -258,7 +329,7 @@ mod tests {
             key_bits: 5,
             ..JobRequest::default()
         });
-        let out = run(&job, &Budget::unlimited(), None, None, shell_chaos::real()).unwrap();
+        let out = run(&job, &Budget::unlimited(), None, None, None, shell_chaos::real()).unwrap();
         assert!(out.cacheable);
         let report = out.payload.get("report").unwrap();
         assert_eq!(report.get("status").and_then(Json::as_str), Some("broken"));
@@ -280,7 +351,7 @@ mod tests {
         });
         let budget = Budget::unlimited();
         budget.cancel();
-        let out = run(&job, &budget, None, None, shell_chaos::real()).unwrap();
+        let out = run(&job, &budget, None, None, None, shell_chaos::real()).unwrap();
         assert!(!out.cacheable, "a cancel-stopped result must not be cached");
     }
 
@@ -291,11 +362,63 @@ mod tests {
             kind: crate::request::JobKind::Verify,
             ..JobRequest::default()
         });
-        let out = run(&job, &Budget::unlimited(), None, None, shell_chaos::real()).unwrap();
+        let out = run(&job, &Budget::unlimited(), None, None, None, shell_chaos::real()).unwrap();
         assert_eq!(
             out.payload.get("verdict").and_then(Json::as_str),
             Some("equivalent")
         );
+    }
+
+    #[test]
+    fn explore_job_reports_pareto_and_pick() {
+        shell_verify::install();
+        let job = resolved(JobRequest {
+            kind: crate::request::JobKind::Explore,
+            conflict_quota: Some(5_000),
+            ..JobRequest::default()
+        });
+        let budget = Budget::unlimited().with_quota(5_000);
+        let a = run(&job, &budget, None, None, None, shell_chaos::real()).unwrap();
+        assert!(a.cacheable);
+        let front = a.payload.get("report").unwrap().get("front").unwrap();
+        assert!(
+            !front.as_arr().unwrap().is_empty(),
+            "tiny grid must yield a non-empty Pareto front"
+        );
+        // Deterministic: a second run produces byte-identical payloads.
+        let b = run(&job, &budget.fresh(), None, None, None, shell_chaos::real()).unwrap();
+        assert_eq!(a.payload.to_string_compact(), b.payload.to_string_compact());
+    }
+
+    #[test]
+    fn explore_job_resumes_from_journal() {
+        shell_verify::install();
+        let dir = std::env::temp_dir().join(format!(
+            "shell_serve_explore_journal_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let job = resolved(JobRequest {
+            kind: crate::request::JobKind::Explore,
+            conflict_quota: Some(5_000),
+            ..JobRequest::default()
+        });
+        let budget = Budget::unlimited().with_quota(5_000);
+        let cold = run(&job, &budget, None, None, Some(dir.clone()), shell_chaos::real())
+            .unwrap();
+        assert!(
+            std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0) > 0,
+            "journal must contain per-point records"
+        );
+        // Second run with the same journal resumes every point and must
+        // reproduce the artifact byte for byte.
+        let warm = run(&job, &budget.fresh(), None, None, Some(dir.clone()), shell_chaos::real())
+            .unwrap();
+        assert_eq!(
+            cold.payload.to_string_compact(),
+            warm.payload.to_string_compact()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -308,7 +431,7 @@ mod tests {
             seed: 7,
             ..JobRequest::default()
         });
-        let out = run(&job, &Budget::unlimited(), None, None, shell_chaos::real()).unwrap();
+        let out = run(&job, &Budget::unlimited(), None, None, None, shell_chaos::real()).unwrap();
         let report = out.payload.get("report").unwrap();
         assert_eq!(report.get("samples").and_then(Json::as_u64), Some(4));
     }

@@ -2,7 +2,8 @@
 //!
 //! The batch tools in this workspace run one flow and exit. This crate
 //! turns the same flows — SheLL redaction ([`shell_lock`]), the SAT attack,
-//! activation equivalence, pipeline fuzzing — into a long-running service:
+//! activation equivalence, pipeline fuzzing, design-space sweeps
+//! ([`shell_explore`]) — into a long-running service:
 //!
 //! * **Protocol** ([`protocol`]): length-prefixed JSON frames over TCP.
 //!   Untrusted bytes go through the hardened `shell_util` parser
@@ -14,9 +15,9 @@
 //!   `shell-guard` [`Budget`](shell_guard::Budget) (request knobs clamped
 //!   by `SHELL_SERVE_MAX_DEADLINE_MS` / `SHELL_SERVE_MAX_CONFLICTS`), is
 //!   cancellable mid-flight, and reports progress from `shell-trace`
-//!   counter deltas. Attack jobs checkpoint each DIP iteration, so a
-//!   killed server resumes in-flight work on restart and still produces a
-//!   byte-identical report.
+//!   counter deltas. Attack jobs checkpoint each DIP iteration and explore
+//!   jobs journal each evaluated sweep point, so a killed server resumes
+//!   in-flight work on restart and still produces a byte-identical report.
 //! * **Cache** ([`cache`], [`hash`]): the centerpiece. Requests
 //!   canonicalize (generator specs and inline Verilog of the same design
 //!   converge on one [`write_verilog`](shell_netlist::verilog::write_verilog)
@@ -25,6 +26,24 @@
 //!   Repeated requests are served from disk in microseconds, corruption is
 //!   detected and recomputed rather than served, and a flow-version bump
 //!   invalidates every stale entry at once.
+//!
+//! A complete round-trip — boot an ephemeral server on a loopback port,
+//! submit the default lock job, block for its terminal document:
+//!
+//! ```
+//! use shell_serve::{Client, JobRequest, Server, ServerConfig};
+//! use shell_util::Json;
+//!
+//! let state = std::env::temp_dir().join(format!("shell_serve_doc_{}", std::process::id()));
+//! let server = Server::start(ServerConfig::ephemeral(&state))?;
+//! let mut client = Client::connect(&server.local_addr().to_string())?;
+//! let job = client.submit(&JobRequest::default())?;
+//! let done = client.result(job.id, 60_000)?;
+//! assert_eq!(done.get("status").and_then(Json::as_str), Some("done"));
+//! server.stop();
+//! std::fs::remove_dir_all(&state).ok();
+//! # Ok::<(), std::io::Error>(())
+//! ```
 //!
 //! [`shell_lock`]: shell_lock::shell_lock
 

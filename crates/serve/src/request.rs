@@ -25,6 +25,7 @@
 use crate::cache::FLOW_VERSION;
 use crate::hash::ContentHash;
 use shell_circuits::{axi_xbar, c17, generate, mux_tree_circuit, ripple_adder, Benchmark, Scale};
+use shell_explore::SweepGrid;
 use shell_netlist::verilog::parse_verilog;
 use shell_netlist::Netlist;
 use shell_synth::clean_netlist;
@@ -45,6 +46,11 @@ pub enum JobKind {
     /// Differential pipeline fuzzing over random circuits (no input
     /// circuit; the request's `seed`/`samples` drive generation).
     Fuzz,
+    /// Fabric design-space sweep (`shell-explore`): lock → price → attack
+    /// every grid point, emit the Pareto front and the auto-customizer
+    /// pick. Long-running like attacks, so it journals per-point progress
+    /// for crash-resume.
+    Explore,
 }
 
 impl JobKind {
@@ -55,6 +61,7 @@ impl JobKind {
             JobKind::Attack => "attack",
             JobKind::Verify => "verify",
             JobKind::Fuzz => "fuzz",
+            JobKind::Explore => "explore",
         }
     }
 
@@ -69,8 +76,9 @@ impl JobKind {
             "attack" => Ok(JobKind::Attack),
             "verify" => Ok(JobKind::Verify),
             "fuzz" => Ok(JobKind::Fuzz),
+            "explore" => Ok(JobKind::Explore),
             other => Err(format!(
-                "unknown job kind `{other}` (expected lock|attack|verify|fuzz)"
+                "unknown job kind `{other}` (expected lock|attack|verify|fuzz|explore)"
             )),
         }
     }
@@ -248,8 +256,12 @@ pub struct JobRequest {
     pub deadline_ms: Option<u64>,
     /// Per-job solver-conflict quota, clamped server-side by
     /// `SHELL_SERVE_MAX_CONFLICTS`. Part of the cache key (quota exhaustion
-    /// is a deterministic outcome).
+    /// is a deterministic outcome). For [`JobKind::Explore`] this is also
+    /// the per-point attack budget *B*.
     pub conflict_quota: Option<u64>,
+    /// Sweep grid for [`JobKind::Explore`] (the smoke-scale
+    /// [`SweepGrid::tiny`] when omitted). Part of the cache key.
+    pub grid: Option<SweepGrid>,
 }
 
 impl Default for JobRequest {
@@ -265,6 +277,7 @@ impl Default for JobRequest {
             skip_shrink: false,
             deadline_ms: None,
             conflict_quota: None,
+            grid: None,
         }
     }
 }
@@ -287,6 +300,9 @@ impl JobRequest {
         }
         if let Some(q) = self.conflict_quota {
             pairs.push(("conflict_quota".to_string(), Json::from(q)));
+        }
+        if let Some(g) = &self.grid {
+            pairs.push(("grid".to_string(), g.to_json()));
         }
         Json::obj(pairs)
     }
@@ -330,6 +346,10 @@ impl JobRequest {
                 .unwrap_or(defaults.skip_shrink),
             deadline_ms: json.get("deadline_ms").and_then(Json::as_u64),
             conflict_quota: json.get("conflict_quota").and_then(Json::as_u64),
+            grid: match json.get("grid") {
+                Some(g) => Some(SweepGrid::from_json(g).map_err(|e| format!("bad grid: {e}"))?),
+                None => None,
+            },
         })
     }
 
@@ -350,6 +370,21 @@ impl JobRequest {
         if self.kind == JobKind::Fuzz && (self.samples == 0 || self.samples > 4096) {
             return Err(format!("samples {} out of range 1..=4096", self.samples));
         }
+        // Explore requests canonicalize their *effective* grid (the tiny
+        // default fills in for an omitted one), so an explicit tiny grid
+        // and an omitted grid share a cache entry. Service sweeps are
+        // capped tighter than the library's MAX_POINTS: each point is a
+        // full lock + attack.
+        let effective_grid = if self.kind == JobKind::Explore {
+            let grid = self.grid.clone().unwrap_or_else(SweepGrid::tiny);
+            grid.validate().map_err(|e| format!("bad grid: {e}"))?;
+            if grid.len() > 64 {
+                return Err(format!("grid expands to {} points (service max 64)", grid.len()));
+            }
+            Some(grid)
+        } else {
+            None
+        };
         // The canonical document. Field set and order are part of the key
         // definition — change either only together with a FLOW_VERSION bump.
         let canonical_circuit = netlist
@@ -368,12 +403,25 @@ impl JobRequest {
                 "conflict_quota",
                 self.conflict_quota.map(Json::from).unwrap_or(Json::Null),
             ),
+            (
+                "grid",
+                effective_grid
+                    .as_ref()
+                    .map(SweepGrid::to_json)
+                    .unwrap_or(Json::Null),
+            ),
         ]);
         Ok(ResolvedJob {
             request: self.clone(),
             netlist,
             key: ContentHash::of_json(&canonical),
         })
+    }
+
+    /// The grid an explore job actually sweeps: the request's, or the tiny
+    /// smoke grid when omitted.
+    pub fn effective_grid(&self) -> SweepGrid {
+        self.grid.clone().unwrap_or_else(SweepGrid::tiny)
     }
 }
 
@@ -491,8 +539,51 @@ mod tests {
             skip_shrink: true,
             deadline_ms: Some(5000),
             conflict_quota: Some(100_000),
+            grid: None,
         };
         assert_eq!(JobRequest::from_json(&req.to_json()).unwrap(), req);
+    }
+
+    #[test]
+    fn explore_requests_round_trip_and_key_on_grid() {
+        use shell_explore::SweepGrid;
+        let req = JobRequest {
+            kind: JobKind::Explore,
+            grid: Some(SweepGrid::tiny()),
+            ..JobRequest::default()
+        };
+        assert_eq!(JobRequest::from_json(&req.to_json()).unwrap(), req);
+        // An omitted grid canonicalizes to the tiny default: same key.
+        let omitted = JobRequest {
+            kind: JobKind::Explore,
+            grid: None,
+            ..JobRequest::default()
+        };
+        assert_eq!(
+            req.resolve().unwrap().key,
+            omitted.resolve().unwrap().key
+        );
+        // A different grid changes the key.
+        let bigger = JobRequest {
+            kind: JobKind::Explore,
+            grid: Some(SweepGrid::default()),
+            ..JobRequest::default()
+        };
+        assert_ne!(
+            req.resolve().unwrap().key,
+            bigger.resolve().unwrap().key
+        );
+        // An oversized grid is rejected server-side.
+        let huge = JobRequest {
+            kind: JobKind::Explore,
+            grid: Some(SweepGrid {
+                chain_len: (0..20).collect(),
+                min_dims: vec![(2, 2); 8],
+                ..SweepGrid::tiny()
+            }),
+            ..JobRequest::default()
+        };
+        assert!(huge.resolve().is_err());
     }
 
     #[test]

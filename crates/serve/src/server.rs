@@ -393,6 +393,25 @@ impl Inner {
         self.state_dir.join("checkpoints").join(format!("{id}.json"))
     }
 
+    /// Explore jobs journal per-point sweep progress in a directory next
+    /// to the attack checkpoints.
+    fn explore_journal_dir(&self, id: u64) -> PathBuf {
+        self.state_dir
+            .join("checkpoints")
+            .join(format!("{id}.explore"))
+    }
+
+    /// Best-effort removal of an explore job's sweep journal (terminal
+    /// cleanup — every point file, through the fault-injectable seam).
+    fn remove_explore_journal(&self, id: u64) {
+        let dir = self.explore_journal_dir(id);
+        if let Ok(entries) = self.io.list_dir(&dir) {
+            for entry in entries {
+                let _ = self.io.remove_file(&entry);
+            }
+        }
+    }
+
     /// One durable commit: journaled when the config says so, plain atomic
     /// write otherwise, either way under the bounded transient-retry
     /// ladder.
@@ -440,6 +459,7 @@ impl Inner {
             Ok(()) => {
                 let _ = self.io.remove_file(&self.job_path(id));
                 let _ = self.io.remove_file(&self.checkpoint_path(id));
+                self.remove_explore_journal(id);
             }
             Err(_) => {
                 shell_trace::counter_add("serve.result_commit_failed", 1);
@@ -636,8 +656,15 @@ impl Inner {
                 ));
             }
             let (checkpoint_path, resume) = self.attack_state(id, &resolved);
-            let output =
-                job::run(&resolved, &budget, checkpoint_path, resume, self.io.clone())?;
+            let journal_dir = self.explore_state(id, &resolved);
+            let output = job::run(
+                &resolved,
+                &budget,
+                checkpoint_path,
+                resume,
+                journal_dir,
+                self.io.clone(),
+            )?;
             if let (Some(crash_at), JobKind::Attack) =
                 (self.crash_after_conflicts, resolved.request.kind)
             {
@@ -736,6 +763,20 @@ impl Inner {
             shell_trace::counter_add("serve.attack_resumes", 1);
         }
         (Some(path), resume)
+    }
+
+    /// Explore jobs journal under `checkpoints/<id>.explore/`; surviving
+    /// point files from a previous incarnation are resumed, not recomputed
+    /// (the sweep itself validates each record's fingerprint).
+    fn explore_state(&self, id: u64, resolved: &ResolvedJob) -> Option<PathBuf> {
+        if resolved.request.kind != JobKind::Explore {
+            return None;
+        }
+        let dir = self.explore_journal_dir(id);
+        if self.io.list_dir(&dir).map(|e| !e.is_empty()).unwrap_or(false) {
+            shell_trace::counter_add("serve.explore_resumes", 1);
+        }
+        Some(dir)
     }
 
     // ---- the protocol ----------------------------------------------------

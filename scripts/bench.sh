@@ -21,4 +21,7 @@ SHELL_JOBS="$jobs_n" cargo bench --offline
 echo "== sequential-vs-parallel medians (results/BENCH_exec.json) =="
 SHELL_JOBS="$jobs_n" cargo run --release --offline -p shell-bench --bin bench_exec
 
+echo "== design-space sweep (results/BENCH_explore.json, results/explore/pareto.json) =="
+SHELL_JOBS="$jobs_n" cargo run --release --offline -p shell-bench --bin bench_explore
+
 echo "bench: done (jobs=${jobs_n})"

@@ -76,6 +76,28 @@ if [ -n "$md_bad" ]; then
 fi
 echo "ok"
 
+# Results coverage, both directions: every committed artifact under
+# `results/` must have a recipe in EXPERIMENTS.md (files under
+# `results/trace/` are documented as a family), and every `results/...`
+# path the doc names must exist (placeholder paths containing `<` or `*`
+# are patterns, not files).
+echo "== results coverage: EXPERIMENTS.md <-> results/ =="
+cov_bad=""
+while IFS= read -r f; do
+    case "$f" in results/trace/*) continue ;; esac
+    grep -qF "\`$f\`" EXPERIMENTS.md || \
+        cov_bad="${cov_bad}artifact has no EXPERIMENTS.md recipe: ${f}"$'\n'
+done < <(git ls-files results)
+while IFS= read -r path; do
+    case "$path" in *'<'*|*'*'*) continue ;; esac
+    [ -e "$path" ] || cov_bad="${cov_bad}EXPERIMENTS.md names a missing artifact: ${path}"$'\n'
+done < <(grep -oE 'results/[A-Za-z0-9_./<>*-]+' EXPERIMENTS.md | sed 's/\.$//' | sort -u)
+if [ -n "$cov_bad" ]; then
+    printf '%s' "$cov_bad" >&2
+    exit 1
+fi
+echo "ok"
+
 # Trace smoke: SHELL_TRACE=1 must produce a loadable Chrome trace without
 # perturbing the run (the fault report below is compared untraced).
 echo "== trace smoke: SHELL_TRACE=1 emits results/trace/*.json =="
@@ -181,6 +203,35 @@ for jobs in 1 4; do
 done
 echo "ok"
 
+# Explore smoke: the design-space sweep on the tiny 2×2-point grid at
+# worker pools of 1 and 4. The report is jobs-invariant by contract, so
+# both runs (and their Pareto plot data) must be byte-identical, and the
+# four self-check verdicts must all hold. `--out` keeps the smoke away
+# from the committed default-grid artifact.
+echo "== explore smoke: tiny grid, SHELL_JOBS=1 vs 4, Pareto verdicts =="
+exp_j1=$(mktemp); exp_j4=$(mktemp); par_j1=$(mktemp); par_j4=$(mktemp)
+trap 'rm -f "$fuzz_j1" "$fuzz_j4" "$exp_j1" "$exp_j4" "$par_j1" "$par_j4"' EXIT
+SHELL_JOBS=1 cargo run -q --release --offline -p shell-bench --bin bench_explore -- \
+    --grid tiny --out "$exp_j1" --pareto-out "$par_j1" >/dev/null
+SHELL_JOBS=4 cargo run -q --release --offline -p shell-bench --bin bench_explore -- \
+    --grid tiny --out "$exp_j4" --pareto-out "$par_j4" >/dev/null
+cmp "$exp_j1" "$exp_j4" || {
+    echo "explore reports differ between SHELL_JOBS=1 and 4" >&2
+    exit 1
+}
+cmp "$par_j1" "$par_j4" || {
+    echo "explore Pareto data differs between SHELL_JOBS=1 and 4" >&2
+    exit 1
+}
+for verdict in pareto_nonempty all_points_resolved any_survivor pick_survives; do
+    grep -q "\"$verdict\": true" "$exp_j1" || {
+        echo "bench_explore verdict failed: $verdict" >&2
+        grep "\"$verdict\"" "$exp_j1" >&2
+        exit 1
+    }
+done
+echo "ok"
+
 # Serve smoke: the locking service end-to-end over its TCP CLI — a cache
 # hit must serve byte-identical artifact bytes, cancellation must reach a
 # running job, and a server aborted mid-attack (via the crash-injection
@@ -189,7 +240,7 @@ echo "ok"
 echo "== serve smoke: cache hit, cancel, crash-resume over TCP =="
 serve_bin=target/release/shell_serve
 serve_tmp=$(mktemp -d)
-trap 'rm -f "$fuzz_j1" "$fuzz_j4"; rm -rf "$serve_tmp"' EXIT
+trap 'rm -f "$fuzz_j1" "$fuzz_j4" "$exp_j1" "$exp_j4" "$par_j1" "$par_j4"; rm -rf "$serve_tmp"' EXIT
 
 serve_wait_port() {
     for _ in $(seq 1 100); do
